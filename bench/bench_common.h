@@ -1,0 +1,75 @@
+// Shared scaffolding for the experiment binaries: canonical simulation
+// configs, policy grids, and environment-variable knobs so every bench
+// regenerates its paper artefact with consistent inputs.
+
+#ifndef OSDP_BENCH_BENCH_COMMON_H_
+#define OSDP_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "src/traj/ap_policy.h"
+#include "src/traj/building_sim.h"
+
+namespace osdp {
+namespace bench {
+
+/// Repetition count, overridable via OSDP_BENCH_REPS.
+inline int Reps(int fallback) {
+  const char* env = std::getenv("OSDP_BENCH_REPS");
+  if (env == nullptr) return fallback;
+  const int v = std::atoi(env);
+  return v > 0 ? v : fallback;
+}
+
+/// The canonical scaled-down TIPPERS simulation shared by the trajectory
+/// benches (paper: 585K trajectories / 16K users over 9 months — we default
+/// to a laptop-scale slice; OSDP_BENCH_USERS / OSDP_BENCH_DAYS rescale it).
+inline const TrajectoryDataset& Tippers() {
+  static const TrajectoryDataset kSim = [] {
+    BuildingSimConfig cfg;
+    const char* users = std::getenv("OSDP_BENCH_USERS");
+    const char* days = std::getenv("OSDP_BENCH_DAYS");
+    cfg.num_users = users ? std::atoi(users) : 600;
+    cfg.num_days = days ? std::atoi(days) : 40;
+    // Mirror the paper's class imbalance: residents are a small share of the
+    // population (381 of 16K users; ~8% of daily trajectories).
+    cfg.resident_fraction = 0.12;
+    cfg.resident_attendance = 0.6;
+    cfg.visitor_attendance = 0.25;
+    cfg.seed = 20171216;  // arXiv submission date of the paper
+    return *SimulateBuilding(cfg);
+  }();
+  return kSim;
+}
+
+/// The paper's policy labels P99...P1 with their target fractions.
+struct PolicyPoint {
+  const char* label;
+  double target;
+};
+
+inline const std::vector<PolicyPoint>& PolicyGrid() {
+  static const std::vector<PolicyPoint> kGrid = {
+      {"P99", 0.99}, {"P90", 0.90}, {"P75", 0.75}, {"P50", 0.50},
+      {"P25", 0.25}, {"P10", 0.10}, {"P1", 0.01}};
+  return kGrid;
+}
+
+/// Calibrated AP policies for the shared simulation, built once.
+inline const std::vector<ApSetPolicy>& TippersPolicies() {
+  static const std::vector<ApSetPolicy> kPolicies = [] {
+    std::vector<ApSetPolicy> out;
+    for (const PolicyPoint& p : PolicyGrid()) {
+      out.push_back(*CalibrateApPolicy(Tippers().trajectories,
+                                       Tippers().config.num_aps, p.target));
+    }
+    return out;
+  }();
+  return kPolicies;
+}
+
+}  // namespace bench
+}  // namespace osdp
+
+#endif  // OSDP_BENCH_BENCH_COMMON_H_

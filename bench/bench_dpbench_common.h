@@ -1,0 +1,120 @@
+// Shared driver for the DPBench-1D regret figures (Figures 6-10): builds the
+// (x, x_ns) input grid — 7 datasets x {Close, Far} x ratio grid — and runs
+// the mechanism suite with regret accounting.
+
+#ifndef OSDP_BENCH_BENCH_DPBENCH_COMMON_H_
+#define OSDP_BENCH_BENCH_DPBENCH_COMMON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/benchdata/dpbench.h"
+#include "src/benchdata/sampling.h"
+#include "src/eval/regret.h"
+#include "src/eval/table_printer.h"
+#include "src/mech/histogram_mechanism.h"
+
+namespace osdp {
+namespace bench {
+
+/// One evaluation input: a dataset with a sampled non-sensitive histogram.
+struct DPBenchInput {
+  std::string dataset;
+  std::string policy;  // "Close" or "Far"
+  double rho;
+  Histogram x;
+  Histogram xns;
+};
+
+/// The paper's non-sensitive ratio grid.
+inline const std::vector<double>& RatioGrid() {
+  static const std::vector<double> kGrid = {0.99, 0.90, 0.75, 0.50,
+                                            0.25, 0.10, 0.01};
+  return kGrid;
+}
+
+/// Builds all (dataset x policy x ratio) inputs — the paper's 98 pairs.
+/// `min_rho` trims the grid (several figures restrict to ρx >= 0.25).
+inline std::vector<DPBenchInput> BuildInputs(double min_rho = 0.0) {
+  std::vector<DPBenchInput> inputs;
+  Rng rng(20171216);
+  for (const BenchmarkDataset& d : MakeDPBench1D()) {
+    for (const char* policy : {"Close", "Far"}) {
+      for (double rho : RatioGrid()) {
+        if (rho < min_rho) continue;
+        Histogram xns(0);
+        if (std::string(policy) == "Close") {
+          xns = *MSampling(d.hist, rho, MSamplingOptions{}, rng);
+        } else {
+          xns = *HiLoSampling(d.hist, rho, HiLoSamplingOptions{}, rng);
+        }
+        inputs.push_back(
+            {d.name, policy, rho, d.hist, std::move(xns)});
+      }
+    }
+  }
+  return inputs;
+}
+
+/// Runs `suite` on every input matching the filter, aggregating average
+/// regret per mechanism with `metric`. Filters accept empty = match all.
+struct RegretFilter {
+  std::string dataset;  // match-all when empty
+  std::string policy;
+  double rho = -1.0;  // match-all when negative
+};
+
+inline bool Matches(const RegretFilter& f, const DPBenchInput& in) {
+  if (!f.dataset.empty() && f.dataset != in.dataset) return false;
+  if (!f.policy.empty() && f.policy != in.policy) return false;
+  if (f.rho >= 0.0 && std::abs(f.rho - in.rho) > 1e-9) return false;
+  return true;
+}
+
+inline std::vector<MechanismScore> AverageRegret(
+    const std::vector<std::unique_ptr<HistogramMechanism>>& suite,
+    const std::vector<DPBenchInput>& inputs, const RegretFilter& filter,
+    double epsilon, ErrorMetric metric, int reps) {
+  RegretAccumulator acc;
+  SuiteRunOptions opts;
+  opts.repetitions = reps;
+  uint64_t seed = 1;
+  for (const DPBenchInput& in : inputs) {
+    ++seed;
+    if (!Matches(filter, in)) continue;
+    opts.seed = seed * 7919;
+    acc.Add(*RunSuite(suite, in.x, in.xns, epsilon, metric, opts));
+  }
+  return acc.AverageRegrets();
+}
+
+/// Renders a regret table: one row per row-filter, one column per mechanism.
+inline void PrintRegretTable(
+    const std::vector<std::unique_ptr<HistogramMechanism>>& suite,
+    const std::vector<DPBenchInput>& inputs,
+    const std::vector<std::pair<std::string, RegretFilter>>& rows,
+    double epsilon, ErrorMetric metric, int reps,
+    const std::vector<std::string>& shown_mechanisms) {
+  std::vector<std::string> headers = {"input"};
+  for (const std::string& m : shown_mechanisms) headers.push_back(m);
+  TextTable table(headers);
+  for (const auto& [label, filter] : rows) {
+    auto scores = AverageRegret(suite, inputs, filter, epsilon, metric, reps);
+    std::vector<std::string> cells = {label};
+    for (const std::string& m : shown_mechanisms) {
+      cells.push_back(TextTable::Fmt(ScoreOf(scores, m).regret, 2));
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace bench
+}  // namespace osdp
+
+#endif  // OSDP_BENCH_BENCH_DPBENCH_COMMON_H_

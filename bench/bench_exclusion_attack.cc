@@ -1,0 +1,58 @@
+// Exclusion-attack audit (Sections 3.2 / 3.4): the exact posterior-odds
+// exponent φ of every mechanism family discussed in the paper, over domain
+// sizes and ε — the machine-checked version of Theorems 3.1, 3.4 and the
+// access-control counterexamples.
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/attack/exclusion.h"
+#include "src/eval/table_printer.h"
+#include "src/mech/suppress.h"
+
+using namespace osdp;
+
+namespace {
+
+std::string PhiCell(double phi) {
+  return std::isinf(phi) ? "unbounded" : TextTable::Fmt(phi, 3);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== exclusion-attack exponent phi by mechanism ===\n\n");
+
+  TextTable table({"mechanism", "domain", "eps", "phi", "OSDP at eps?"});
+  for (size_t domain : {2u, 4u, 16u}) {
+    std::vector<bool> sensitive(domain, false);
+    sensitive[0] = true;
+    for (double eps : {0.5, 1.0}) {
+      for (auto& m : {MakeOsdpRRModel(sensitive, eps),
+                      MakeKRandomizedResponseModel(sensitive, eps)}) {
+        const double phi = *ExclusionAttackPhi(m);
+        table.AddRow({m.name, std::to_string(domain), TextTable::Fmt(eps, 1),
+                      PhiCell(phi),
+                      *SatisfiesOsdpSingleRecord(m, eps) ? "yes" : "NO"});
+      }
+    }
+    for (auto& m : {MakeTrumanModel(sensitive), MakeNonTrumanModel(sensitive)}) {
+      const double phi = *ExclusionAttackPhi(m);
+      table.AddRow({m.name, std::to_string(domain), "-", PhiCell(phi), "NO"});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  std::printf("\n=== PDP Suppress: phi = tau (Theorem 3.4) ===\n");
+  TextTable pdp({"tau", "phi", "protection vs (P,1)-OSDP"});
+  for (double tau : {1.0, 10.0, 50.0, 100.0}) {
+    PrivacyGuarantee g = SuppressGuarantee(tau, "Phi_P");
+    pdp.AddRow({TextTable::Fmt(tau, 0), TextTable::Fmt(g.exclusion_attack_phi, 0),
+                TextTable::Fmt(tau, 0) + "x weaker"});
+  }
+  std::printf("%s", pdp.ToString().c_str());
+  std::printf("\nreading: every OSDP/DP mechanism keeps phi = eps; releasing\n"
+              "non-sensitive records truthfully (Truman / Suppress(inf) /\n"
+              "PDP threshold) makes the posterior odds unbounded.\n");
+  return 0;
+}

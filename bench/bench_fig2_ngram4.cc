@@ -1,0 +1,5 @@
+// Figure 2: mean relative error of 4-gram release across policies and ε.
+
+#include "bench/bench_ngram_common.h"
+
+int main() { return osdp::bench::RunNgramFigure(4, "Figure 2"); }

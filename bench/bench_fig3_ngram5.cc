@@ -1,0 +1,5 @@
+// Figure 3: mean relative error of 5-gram release across policies and ε.
+
+#include "bench/bench_ngram_common.h"
+
+int main() { return osdp::bench::RunNgramFigure(5, "Figure 3"); }

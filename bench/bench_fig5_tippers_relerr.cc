@@ -1,0 +1,67 @@
+// Figure 5: median (Rel50) and 95th-percentile (Rel95) per-bin relative
+// error on the TIPPERS AP x hour histogram at ε = 1, policies P99..P25.
+//
+// Paper shape: OSDP algorithms improve most in the high-error bins (Rel95);
+// OsdpLaplaceL1 outperforms DAWAz here because the policy is value-based
+// (whole bins are sensitive or not), which the hybrid exploits directly.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/eval/metrics.h"
+#include "src/eval/table_printer.h"
+#include "src/mech/dawa.h"
+#include "src/mech/dawaz.h"
+#include "src/mech/osdp_laplace.h"
+#include "src/traj/ap_hour_histogram.h"
+
+using namespace osdp;
+using bench::PolicyGrid;
+using bench::Reps;
+using bench::Tippers;
+using bench::TippersPolicies;
+
+int main() {
+  const TrajectoryDataset& sim = Tippers();
+  ApHourOptions hopts;
+  hopts.num_aps = sim.config.num_aps;
+  hopts.slots_per_day = sim.config.slots_per_day;
+  Histogram2D full2d = *ApHourDistinctUsers(sim.trajectories, hopts);
+  const Histogram& x = full2d.flat();
+  const double eps = 1.0;
+  const int reps = Reps(5);
+
+  std::printf("=== Figure 5: per-bin relative error percentiles (eps=1) ===\n\n");
+  for (double percentile : {50.0, 95.0}) {
+    std::printf("--- Rel%.0f ---\n", percentile);
+    TextTable table({"policy", "OsdpLaplaceL1", "DAWAz", "DAWA"});
+    for (size_t pi = 0; pi < 5; ++pi) {  // P99..P25, as in the figure
+      const ApSetPolicy& ap_policy = TippersPolicies()[pi];
+      std::vector<Trajectory> ns_trajs;
+      for (const Trajectory& t : sim.trajectories) {
+        if (!ap_policy.IsSensitive(t)) ns_trajs.push_back(t);
+      }
+      Histogram2D ns2d = *ApHourDistinctUsers(ns_trajs, hopts);
+      const Histogram& xns = ns2d.flat();
+      const std::vector<bool> bin_sens =
+          ap_policy.ApHourBinSensitivity(static_cast<size_t>(hopts.hours));
+
+      Rng rng(5000 + pi);
+      double l1 = 0.0, dz = 0.0, dw = 0.0;
+      for (int rep = 0; rep < reps; ++rep) {
+        l1 += RelativeErrorPercentile(
+            x, *OsdpLaplaceL1Hybrid(x, xns, bin_sens, eps, rng), percentile);
+        dz += RelativeErrorPercentile(x, *Dawaz(x, xns, eps, rng), percentile);
+        dw += RelativeErrorPercentile(x, Dawa(x, eps, rng)->estimate,
+                                      percentile);
+      }
+      table.AddRow({PolicyGrid()[pi].label, TextTable::Fmt(l1 / reps, 3),
+                    TextTable::Fmt(dz / reps, 3),
+                    TextTable::Fmt(dw / reps, 3)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf("shape check: OSDP improvements concentrate in Rel95 — the\n"
+              "bins a DP algorithm gets most wrong (paper Fig. 5b).\n");
+  return 0;
+}

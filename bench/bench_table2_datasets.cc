@@ -1,0 +1,26 @@
+// Table 2: the histogram benchmark characteristics — verifies the synthetic
+// DPBench-1D substitutes match the published sparsity and scale per dataset.
+
+#include <cstdio>
+
+#include "src/benchdata/dpbench.h"
+#include "src/eval/table_printer.h"
+
+using namespace osdp;
+
+int main() {
+  std::printf("=== Table 2: histogram benchmark (synthetic substitutes) ===\n");
+  TextTable table({"dataset", "sparsity (paper)", "sparsity (ours)",
+                   "scale (paper)", "scale (ours)", "nonzero bins"});
+  for (const BenchmarkDataset& d : MakeDPBench1D()) {
+    table.AddRow({d.name, TextTable::Fmt(d.target_sparsity, 2),
+                  TextTable::Fmt(d.hist.Sparsity(), 4),
+                  TextTable::FmtAuto(d.target_scale),
+                  TextTable::FmtAuto(d.hist.Total()),
+                  std::to_string(d.hist.size() - d.hist.ZeroBins())});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nscale matches exactly; sparsity matches to the rounding of\n"
+              "sparsity*4096 to whole bins (see DESIGN.md substitutions).\n");
+  return 0;
+}

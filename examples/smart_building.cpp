@@ -1,0 +1,89 @@
+// Smart-building scenario (paper Example 3 + Section 6.1.1): a TIPPERS-like
+// deployment where the smoker's lounge is a sensitive location.
+//
+//   * shows why Truman / non-Truman access control leaks Bob's location;
+//   * releases true daily trajectories with OsdpRR under an AP-level policy;
+//   * publishes 4-gram mobility statistics, comparing OsdpRR against the
+//     truncated-Laplace DP baseline (the Figure 2 pipeline).
+//
+// Build & run:  ./build/examples/smart_building
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/accesscontrol/access_control.h"
+#include "src/attack/exclusion.h"
+#include "src/eval/metrics.h"
+#include "src/mech/osdp_rr.h"
+#include "src/traj/ap_policy.h"
+#include "src/traj/building_sim.h"
+#include "src/traj/ngram.h"
+
+using namespace osdp;  // example code; library code never does this
+
+int main() {
+  // --- The exclusion attack on access control ---------------------------
+  // A 4-value location domain; value 0 is the smoker's lounge (sensitive).
+  std::vector<bool> sensitive = {true, false, false, false};
+  std::printf("=== locate-Bob leakage (Section 1 / 3.2) ===\n");
+  for (const SingleRecordMechanism& m :
+       {MakeTrumanModel(sensitive), MakeNonTrumanModel(sensitive),
+        MakeOsdpRRModel(sensitive, /*epsilon=*/1.0)}) {
+    const double phi = *ExclusionAttackPhi(m);
+    if (std::isinf(phi)) {
+      std::printf("  %-10s phi = unbounded (attack succeeds)\n",
+                  m.name.c_str());
+    } else {
+      std::printf("  %-10s phi = %.3f\n", m.name.c_str(), phi);
+    }
+  }
+
+  // --- Simulated building ----------------------------------------------
+  BuildingSimConfig cfg;
+  cfg.num_users = 600;
+  cfg.num_days = 40;
+  cfg.seed = 11;
+  TrajectoryDataset sim = *SimulateBuilding(cfg);
+  std::printf("\nsimulated %zu daily trajectories from %d users, %d APs\n",
+              sim.trajectories.size(), cfg.num_users, cfg.num_aps);
+
+  // Policy: sensitive APs calibrated so ~90%% of trajectories stay clean.
+  ApSetPolicy ap_policy =
+      *CalibrateApPolicy(sim.trajectories, cfg.num_aps, 0.90);
+  auto policy = ap_policy.AsPolicy("P90");
+  std::printf("policy P90: achieved non-sensitive fraction %.3f\n",
+              ap_policy.NonSensitiveFraction(sim.trajectories));
+
+  // --- OsdpRR trajectory release ----------------------------------------
+  Rng rng(4);
+  const double eps = 1.0;
+  std::vector<size_t> released =
+      OsdpRRSelectGeneric(sim.trajectories, policy, eps, rng);
+  std::printf("OsdpRR(eps=%.1f) released %zu true trajectories\n", eps,
+              released.size());
+  std::vector<Trajectory> sample;
+  sample.reserve(released.size());
+  for (size_t i : released) sample.push_back(sim.trajectories[i]);
+
+  // --- 4-gram mobility statistics ----------------------------------------
+  NGramOptions nopts;
+  nopts.n = 4;
+  nopts.alphabet = cfg.num_aps;
+  SparseHistogram truth = *NGramDistinctUsers(sim.trajectories, nopts);
+  SparseHistogram rr_est = *NGramDistinctUsers(sample, nopts);
+  const double rr_mre = SparseMeanRelativeError(truth, rr_est, 0.0);
+
+  SparseHistogram trunc =
+      *TruncatedNGramDistinctUsers(sim.trajectories, nopts, /*k=*/1, rng);
+  SparseHistogram lm = *NGramLaplace(trunc, 1, eps, rng);
+  const double lm_mre =
+      SparseMeanRelativeError(truth, lm, NGramLaplaceZeroCellError(1, eps));
+
+  std::printf("\n=== 4-gram release (domain 64^4 = 16.8M cells) ===\n");
+  std::printf("  true n-grams with mass: %zu\n", truth.num_materialized());
+  std::printf("  OsdpRR   MRE = %.4g   (true data, exact zeros)\n", rr_mre);
+  std::printf("  LM T1    MRE = %.4g   (truncation + Laplace everywhere)\n",
+              lm_mre);
+  std::printf("  OsdpRR is %.1fx more accurate\n", lm_mre / rr_mre);
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "src/accesscontrol/access_control.h"
+
+namespace osdp {
+
+AccessControlledDb::AccessControlledDb(Table data, Policy policy)
+    : data_(std::move(data)), policy_(std::move(policy)) {}
+
+AccessControlResponse AccessControlledDb::Select(
+    const Predicate& pred, AccessControlModel model) const {
+  std::vector<size_t> matching_ns;
+  bool any_sensitive_match = false;
+  for (size_t row = 0; row < data_.num_rows(); ++row) {
+    if (!pred.Eval(data_, row)) continue;
+    if (policy_.IsSensitive(data_, row)) {
+      any_sensitive_match = true;
+    } else {
+      matching_ns.push_back(row);
+    }
+  }
+
+  AccessControlResponse resp;
+  if (model == AccessControlModel::kNonTruman && any_sensitive_match) {
+    resp.kind = AccessControlResponse::Kind::kRejected;
+    return resp;
+  }
+  if (matching_ns.empty()) {
+    resp.kind = AccessControlResponse::Kind::kEmpty;
+    return resp;
+  }
+  resp.kind = AccessControlResponse::Kind::kAnswer;
+  resp.rows = data_.SelectRows(matching_ns);
+  return resp;
+}
+
+}  // namespace osdp

@@ -1,0 +1,38 @@
+#include "src/accounting/composition.h"
+
+#include <algorithm>
+
+namespace osdp {
+
+void CompositionLedger::Record(const Policy& policy, double epsilon,
+                               std::string label) {
+  entries_.push_back({policy, epsilon, std::move(label)});
+}
+
+Result<ComposedGuarantee> CompositionLedger::Sequential() const {
+  if (entries_.empty()) {
+    return Status::FailedPrecondition("empty ledger has no composed guarantee");
+  }
+  Policy mr = entries_[0].policy;
+  double eps = entries_[0].epsilon;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    mr = Policy::MinimumRelaxation(mr, entries_[i].policy);
+    eps += entries_[i].epsilon;
+  }
+  return ComposedGuarantee{std::move(mr), eps};
+}
+
+Result<ComposedGuarantee> CompositionLedger::Parallel() const {
+  if (entries_.empty()) {
+    return Status::FailedPrecondition("empty ledger has no composed guarantee");
+  }
+  Policy mr = entries_[0].policy;
+  double eps = entries_[0].epsilon;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    mr = Policy::MinimumRelaxation(mr, entries_[i].policy);
+    eps = std::max(eps, entries_[i].epsilon);
+  }
+  return ComposedGuarantee{std::move(mr), eps};
+}
+
+}  // namespace osdp

@@ -1,0 +1,58 @@
+// Composition ledger for OSDP guarantees (Theorems 3.2, 3.3, 10.2).
+//
+// Records the (policy, ε) pair of every mechanism applied to a dataset and
+// derives the guarantee of the composed pipeline:
+//   * sequential composition: ε's add, policies combine by minimum relaxation;
+//   * parallel composition (eOSDP over a partition): ε's max, policies
+//     combine by minimum relaxation.
+
+#ifndef OSDP_ACCOUNTING_COMPOSITION_H_
+#define OSDP_ACCOUNTING_COMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/policy/policy.h"
+
+namespace osdp {
+
+/// The derived privacy guarantee of a composed pipeline.
+struct ComposedGuarantee {
+  Policy policy;   ///< minimum relaxation of all component policies
+  double epsilon;  ///< composed ε
+};
+
+/// \brief Accumulates (policy, ε) charges and answers composition queries.
+class CompositionLedger {
+ public:
+  /// Records one mechanism invocation with its OSDP guarantee.
+  void Record(const Policy& policy, double epsilon, std::string label = "");
+
+  /// Number of recorded invocations.
+  size_t size() const { return entries_.size(); }
+
+  /// Sequential composition (Theorem 3.3): Σε under the minimum relaxation.
+  /// Errors if the ledger is empty.
+  Result<ComposedGuarantee> Sequential() const;
+
+  /// Parallel composition over disjoint partitions (Theorem 10.2, eOSDP):
+  /// max ε under the minimum relaxation. The caller asserts disjointness —
+  /// the ledger cannot verify it. Errors if the ledger is empty.
+  Result<ComposedGuarantee> Parallel() const;
+
+  /// One recorded invocation.
+  struct Entry {
+    Policy policy;
+    double epsilon;
+    std::string label;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace osdp
+
+#endif  // OSDP_ACCOUNTING_COMPOSITION_H_

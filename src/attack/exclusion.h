@@ -1,0 +1,90 @@
+// Exclusion-attack analysis (Section 3.2): exact posterior-odds computations
+// for single-record mechanisms with finite output spaces.
+//
+// Definition 3.4 bounds, over all product priors θ, all sensitive values x,
+// all values y, and all outputs O:
+//
+//     Pr_θ(r=x | M(D) ∈ O) / Pr_θ(r=y | M(D) ∈ O)
+//     ----------------------------------------------  ≤  e^φ.
+//     Pr_θ(r=x) / Pr_θ(r=y)
+//
+// For product priors the left side collapses to the likelihood ratio
+// Pr[M(x) = o] / Pr[M(y) = o] (Theorem 3.1's proof), so φ is computable
+// exactly from the mechanism's likelihood matrix. This module models
+// mechanisms as such matrices and computes φ, posterior odds under explicit
+// priors, and OSDP certificates — making the paper's qualitative claims
+// (access control and PDP-Suppress leak unboundedly; OSDP caps leakage at ε)
+// machine-checkable.
+
+#ifndef OSDP_ATTACK_EXCLUSION_H_
+#define OSDP_ATTACK_EXCLUSION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace osdp {
+
+/// \brief A randomized mechanism on a single record from a finite domain,
+/// described by its full likelihood matrix.
+struct SingleRecordMechanism {
+  std::string name;
+  std::vector<std::string> value_names;   ///< the record domain T
+  std::vector<bool> sensitive;            ///< sensitive[i] ⟺ P(value i) = 0
+  std::vector<std::string> output_names;  ///< finite output alphabet
+  /// likelihood[v][o] = Pr[M(value v) = output o]; each row sums to 1.
+  std::vector<std::vector<double>> likelihood;
+
+  /// Checks shapes, row-stochasticity, and that the policy is non-trivial.
+  Status Validate() const;
+};
+
+/// \brief The exact exclusion-attack exponent φ of Definition 3.4:
+/// ln max_{o, x: sensitive, y} L[x][o] / L[y][o], taken over outputs o that x
+/// can produce. Returns +infinity when some ratio is unbounded (the
+/// exclusion attack succeeds outright) and 0 for perfectly hiding mechanisms.
+Result<double> ExclusionAttackPhi(const SingleRecordMechanism& mech);
+
+/// \brief Exact posterior odds Pr(r=x|o)/Pr(r=y|o) under prior `prior`
+/// (positive on x and y), for a concrete observed output. +infinity when the
+/// output rules y out entirely.
+Result<double> PosteriorOddsRatio(const SingleRecordMechanism& mech,
+                                  const std::vector<double>& prior, size_t x,
+                                  size_t y, size_t output);
+
+/// \brief Certifies (P, ε)-OSDP on the single-record universe: checks
+/// L[x][o] ≤ e^ε L[y][o] for every sensitive x, every y ≠ x, every output o
+/// (Definition 3.3 specialized to |D| = 1, as in the Theorem 4.1 proof).
+/// Fills `max_ratio` with the tightest observed ratio when non-null.
+Result<bool> SatisfiesOsdpSingleRecord(const SingleRecordMechanism& mech,
+                                       double epsilon,
+                                       double* max_ratio = nullptr);
+
+/// \name Model builders for the mechanisms discussed in the paper.
+/// Domain values are abstract ("v0", "v1", ...); `sensitive[i]` marks which
+/// are sensitive. Outputs are the released value per index plus "∅"
+/// (suppressed) and, for non-Truman, "REJECT".
+/// @{
+
+/// OsdpRR on one record: non-sensitive values released w.p. 1 - e^{-ε}.
+SingleRecordMechanism MakeOsdpRRModel(std::vector<bool> sensitive,
+                                      double epsilon);
+
+/// Truman-model lookup: non-sensitive values always released, sensitive
+/// always suppressed. Equivalently PDP Suppress with τ = ∞ (Section 3.4).
+SingleRecordMechanism MakeTrumanModel(std::vector<bool> sensitive);
+
+/// Non-Truman lookup: sensitive values make the query REJECT loudly.
+SingleRecordMechanism MakeNonTrumanModel(std::vector<bool> sensitive);
+
+/// k-ary randomized response (ε-DP): output the true value w.p.
+/// e^ε/(e^ε + k - 1), otherwise a uniformly random other value. The DP
+/// comparison point: strong protection, but never releases trustworthy data.
+SingleRecordMechanism MakeKRandomizedResponseModel(std::vector<bool> sensitive,
+                                                   double epsilon);
+/// @}
+
+}  // namespace osdp
+
+#endif  // OSDP_ATTACK_EXCLUSION_H_

@@ -1,0 +1,265 @@
+#include "src/benchdata/dpbench.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.h"
+#include "src/common/distributions.h"
+
+namespace osdp {
+
+namespace {
+
+// Rounds non-negative weights to integer counts summing exactly to `total`,
+// with every selected (positive-weight) bin receiving at least 1 so the bin
+// count — and therefore the sparsity — is exact. Largest-remainder method.
+std::vector<double> WeightsToCounts(const std::vector<double>& weights,
+                                    double total) {
+  const size_t d = weights.size();
+  size_t positive = 0;
+  double wsum = 0.0;
+  for (double w : weights) {
+    OSDP_CHECK(w >= 0.0);
+    if (w > 0.0) {
+      ++positive;
+      wsum += w;
+    }
+  }
+  OSDP_CHECK(positive > 0);
+  OSDP_CHECK_MSG(total >= static_cast<double>(positive),
+                 "scale " << total << " below non-zero bin count " << positive);
+
+  // Reserve 1 per positive bin, distribute the rest proportionally.
+  const double spare = total - static_cast<double>(positive);
+  std::vector<double> counts(d, 0.0);
+  std::vector<std::pair<double, size_t>> remainders;
+  remainders.reserve(positive);
+  double assigned = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    if (weights[i] <= 0.0) continue;
+    const double share = spare * weights[i] / wsum;
+    const double whole = std::floor(share);
+    counts[i] = 1.0 + whole;
+    assigned += whole;
+    remainders.push_back({share - whole, i});
+  }
+  auto leftover = static_cast<int64_t>(std::llround(spare - assigned));
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (size_t k = 0; leftover > 0 && k < remainders.size(); ++k, --leftover) {
+    counts[remainders[k].second] += 1.0;
+  }
+  return counts;
+}
+
+size_t NonZeroBinTarget(size_t domain, double sparsity) {
+  const auto zeros = static_cast<size_t>(std::llround(
+      sparsity * static_cast<double>(domain)));
+  OSDP_CHECK(zeros < domain);
+  return domain - zeros;
+}
+
+// Picks `k` distinct bins clustered around `centers` random focal points
+// (spiky datasets) — cluster extents follow a geometric envelope.
+std::vector<size_t> PickClusteredBins(size_t domain, size_t k, size_t centers,
+                                      Rng& rng) {
+  std::vector<bool> used(domain, false);
+  std::vector<size_t> chosen;
+  chosen.reserve(k);
+  std::vector<size_t> focal(centers);
+  for (auto& f : focal) f = rng.NextBounded(domain);
+  while (chosen.size() < k) {
+    const size_t f = focal[rng.NextBounded(centers)];
+    const auto offset = static_cast<int64_t>(SampleGeometric(rng, 0.05));
+    const int64_t pos = static_cast<int64_t>(f) +
+                        (rng.NextBernoulli(0.5) ? offset : -offset);
+    if (pos < 0 || pos >= static_cast<int64_t>(domain)) continue;
+    if (used[static_cast<size_t>(pos)]) continue;
+    used[static_cast<size_t>(pos)] = true;
+    chosen.push_back(static_cast<size_t>(pos));
+  }
+  return chosen;
+}
+
+// --- per-dataset weight shapes ------------------------------------------
+
+// Adult: very sparse, spiky — Zipf counts over clustered bins.
+std::vector<double> ShapeAdult(size_t domain, size_t nonzero, Rng& rng) {
+  std::vector<double> w(domain, 0.0);
+  std::vector<size_t> bins = PickClusteredBins(domain, nonzero, 6, rng);
+  for (size_t rank = 0; rank < bins.size(); ++rank) {
+    w[bins[rank]] = 1.0 / std::pow(static_cast<double>(rank + 1), 1.1);
+  }
+  return w;
+}
+
+// Hepth: mostly-populated domain with smooth exponential decay plus
+// multiplicative noise; zeros in the deep tail.
+std::vector<double> ShapeHepth(size_t domain, size_t nonzero, Rng& rng) {
+  std::vector<double> w(domain, 0.0);
+  for (size_t i = 0; i < nonzero; ++i) {
+    const double decay =
+        std::exp(-3.0 * static_cast<double>(i) / static_cast<double>(nonzero));
+    w[i] = decay * (0.5 + rng.NextDouble());
+  }
+  return w;
+}
+
+// Income: heavy-tailed lognormal-like bump with a long right tail and zero
+// gaps scattered through the tail.
+std::vector<double> ShapeIncome(size_t domain, size_t nonzero, Rng& rng) {
+  std::vector<double> w(domain, 0.0);
+  // Choose which bins are populated: a dense head plus random tail survivors.
+  std::vector<size_t> bins;
+  bins.reserve(nonzero);
+  const size_t head = nonzero / 2;
+  for (size_t i = 0; i < head; ++i) bins.push_back(i);
+  std::vector<size_t> tail(domain - head);
+  std::iota(tail.begin(), tail.end(), head);
+  for (size_t i = 0; i < tail.size(); ++i) {  // Fisher-Yates prefix shuffle
+    const size_t j = i + rng.NextBounded(tail.size() - i);
+    std::swap(tail[i], tail[j]);
+  }
+  for (size_t i = 0; i < nonzero - head; ++i) bins.push_back(tail[i]);
+  const double mu = std::log(static_cast<double>(domain) / 8.0);
+  for (size_t b : bins) {
+    const double logx = std::log(static_cast<double>(b) + 1.0);
+    const double z = (logx - mu) / 0.9;
+    w[b] = std::exp(-0.5 * z * z) + 1e-4;
+  }
+  return w;
+}
+
+// Nettrace: sorted decreasing histogram — the shape that favours DAWA.
+std::vector<double> ShapeNettrace(size_t domain, size_t nonzero, Rng& rng) {
+  std::vector<double> w(domain, 0.0);
+  for (size_t i = 0; i < nonzero; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), 1.4);
+  }
+  (void)rng;  // deterministic by design: sortedness is the defining feature
+  return w;
+}
+
+// Medcost: a few Gaussian bumps over a quarter of the domain.
+std::vector<double> ShapeMedcost(size_t domain, size_t nonzero, Rng& rng) {
+  std::vector<double> w(domain, 0.0);
+  struct Bump {
+    double center, width, height;
+  };
+  std::vector<Bump> bumps;
+  for (int k = 0; k < 4; ++k) {
+    bumps.push_back({static_cast<double>(rng.NextBounded(domain)),
+                     20.0 + 60.0 * rng.NextDouble(), 0.3 + rng.NextDouble()});
+  }
+  // Score all bins by the bump mixture, keep the `nonzero` strongest.
+  std::vector<std::pair<double, size_t>> scored(domain);
+  for (size_t i = 0; i < domain; ++i) {
+    double v = 0.0;
+    for (const Bump& bp : bumps) {
+      const double z = (static_cast<double>(i) - bp.center) / bp.width;
+      v += bp.height * std::exp(-0.5 * z * z);
+    }
+    scored[i] = {v, i};
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (size_t k = 0; k < nonzero; ++k) {
+    w[scored[k].second] = scored[k].first + 1e-6;
+  }
+  return w;
+}
+
+// Patent: dense, smooth, multi-modal — nearly every bin populated.
+std::vector<double> ShapePatent(size_t domain, size_t nonzero, Rng& rng) {
+  std::vector<double> w(domain, 0.0);
+  for (size_t i = 0; i < nonzero; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(domain);
+    const double waves = 1.2 + std::sin(6.28 * 3.0 * t) +
+                         0.5 * std::sin(6.28 * 11.0 * t);
+    w[i] = std::max(0.05, waves) * (0.8 + 0.4 * rng.NextDouble());
+  }
+  return w;
+}
+
+// Searchlogs: alternating populated clusters over half the domain.
+std::vector<double> ShapeSearchlogs(size_t domain, size_t nonzero, Rng& rng) {
+  std::vector<double> w(domain, 0.0);
+  const size_t cluster = 64;
+  size_t placed = 0;
+  size_t i = 0;
+  while (placed < nonzero && i < domain) {
+    const bool on = (i / cluster) % 2 == 0;
+    if (on) {
+      const double t = static_cast<double>(i % cluster) / cluster;
+      w[i] = (0.2 + std::exp(-4.0 * t)) * (0.7 + 0.6 * rng.NextDouble());
+      ++placed;
+    }
+    ++i;
+  }
+  // Domain exhausted before placing everything (high nonzero targets):
+  // fill remaining "off" bins from the front.
+  for (size_t j = 0; placed < nonzero && j < domain; ++j) {
+    if (w[j] == 0.0) {
+      w[j] = 0.1 * (0.5 + rng.NextDouble());
+      ++placed;
+    }
+  }
+  return w;
+}
+
+struct DatasetSpec {
+  const char* name;
+  double sparsity;
+  double scale;
+  std::vector<double> (*shape)(size_t, size_t, Rng&);
+};
+
+const DatasetSpec kSpecs[] = {
+    {"Adult", 0.98, 17665.0, ShapeAdult},
+    {"Hepth", 0.21, 347414.0, ShapeHepth},
+    {"Income", 0.45, 20787122.0, ShapeIncome},
+    {"Nettrace", 0.97, 25714.0, ShapeNettrace},
+    {"Medcost", 0.75, 9415.0, ShapeMedcost},
+    {"Patent", 0.06, 27948226.0, ShapePatent},
+    {"Searchlogs", 0.51, 335889.0, ShapeSearchlogs},
+};
+
+}  // namespace
+
+const std::vector<std::string>& DPBenchDatasetNames() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const DatasetSpec& s : kSpecs) names.emplace_back(s.name);
+    return names;
+  }();
+  return kNames;
+}
+
+Result<BenchmarkDataset> MakeDPBenchDataset(const std::string& name,
+                                            size_t domain, uint64_t seed) {
+  if (domain == 0) return Status::InvalidArgument("domain must be positive");
+  for (const DatasetSpec& spec : kSpecs) {
+    if (name != spec.name) continue;
+    // Per-dataset deterministic stream: mix the name into the seed.
+    uint64_t mixed = seed;
+    for (char c : name) mixed = mixed * 1099511628211ULL + static_cast<uint64_t>(c);
+    Rng rng(mixed);
+    const size_t nonzero = NonZeroBinTarget(domain, spec.sparsity);
+    std::vector<double> weights = spec.shape(domain, nonzero, rng);
+    return BenchmarkDataset{spec.name,
+                            Histogram(WeightsToCounts(weights, spec.scale)),
+                            spec.sparsity, spec.scale};
+  }
+  return Status::NotFound("unknown DPBench dataset '" + name + "'");
+}
+
+std::vector<BenchmarkDataset> MakeDPBench1D(size_t domain, uint64_t seed) {
+  std::vector<BenchmarkDataset> out;
+  for (const std::string& name : DPBenchDatasetNames()) {
+    out.push_back(*MakeDPBenchDataset(name, domain, seed));
+  }
+  return out;
+}
+
+}  // namespace osdp

@@ -1,0 +1,39 @@
+// Contract-checking macros for programming errors (not data errors).
+
+#ifndef OSDP_COMMON_CHECK_H_
+#define OSDP_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+
+/// Aborts with a message when `cond` is false. Enabled in all build types:
+/// privacy code must fail loudly rather than silently leak.
+#define OSDP_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::cerr << "OSDP_CHECK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " #cond << std::endl;                                \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// OSDP_CHECK with an extra explanatory stream expression.
+#define OSDP_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::cerr << "OSDP_CHECK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " #cond << " — " << msg << std::endl;                \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define OSDP_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define OSDP_DCHECK(cond) OSDP_CHECK(cond)
+#endif
+
+#endif  // OSDP_COMMON_CHECK_H_

@@ -1,0 +1,169 @@
+#include "src/common/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace osdp {
+
+double SampleLaplace(Rng& rng, double b) {
+  OSDP_CHECK(b > 0.0);
+  // Inverse CDF: u uniform in (-1/2, 1/2]; x = -b * sgn(u) * ln(1 - 2|u|).
+  const double u = rng.NextDoublePositive() - 0.5;
+  const double mag = -b * std::log(1.0 - 2.0 * std::abs(u));
+  return u >= 0 ? mag : -mag;
+}
+
+double SampleExponential(Rng& rng, double b) {
+  OSDP_CHECK(b > 0.0);
+  return -b * std::log(rng.NextDoublePositive());
+}
+
+double SampleOneSidedLaplace(Rng& rng, double b) {
+  return -SampleExponential(rng, b);
+}
+
+double SampleGaussian(Rng& rng, double mean, double stddev) {
+  OSDP_CHECK(stddev >= 0.0);
+  // Marsaglia polar method; discards the second variate for simplicity.
+  for (;;) {
+    const double u = 2.0 * rng.NextDouble() - 1.0;
+    const double v = 2.0 * rng.NextDouble() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+int64_t SampleBinomial(Rng& rng, int64_t n, double p) {
+  OSDP_CHECK(n >= 0);
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  // Exploit symmetry so the exact path below loops over at most n*min(p,1-p)
+  // expected successes.
+  if (p > 0.5) return n - SampleBinomial(rng, n, 1.0 - p);
+
+  const double variance = static_cast<double>(n) * p * (1.0 - p);
+  if (variance > 64.0) {
+    // Normal approximation with continuity correction. At variance > 64 the
+    // per-bin error is far below the Laplace/one-sided noise the mechanisms
+    // add, so the approximation does not affect experiment shape.
+    const double mean = static_cast<double>(n) * p;
+    const double draw = SampleGaussian(rng, mean, std::sqrt(variance));
+    const int64_t k = static_cast<int64_t>(std::llround(draw));
+    return std::clamp<int64_t>(k, 0, n);
+  }
+  if (static_cast<double>(n) * p < 16.0) {
+    // Waiting-time (geometric skips) method: O(np) expected.
+    int64_t count = 0;
+    int64_t pos = -1;
+    for (;;) {
+      pos += 1 + SampleGeometric(rng, p);
+      if (pos >= n) break;
+      ++count;
+    }
+    return count;
+  }
+  // Exact per-trial fallback for mid-size n.
+  int64_t count = 0;
+  for (int64_t i = 0; i < n; ++i) count += rng.NextBernoulli(p) ? 1 : 0;
+  return count;
+}
+
+int64_t SampleGeometric(Rng& rng, double p) {
+  OSDP_CHECK(p > 0.0 && p <= 1.0);
+  if (p == 1.0) return 0;
+  const double u = rng.NextDoublePositive();
+  return static_cast<int64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+size_t SampleDiscrete(Rng& rng, const std::vector<double>& weights) {
+  OSDP_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    OSDP_CHECK(w >= 0.0);
+    total += w;
+  }
+  OSDP_CHECK(total > 0.0);
+  double u = rng.NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u < 0.0) return i;
+  }
+  // Floating-point underflow of the running sum: return last positive weight.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  OSDP_CHECK(!weights.empty());
+  const size_t k = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    OSDP_CHECK(w >= 0.0);
+    total += w;
+  }
+  OSDP_CHECK(total > 0.0);
+
+  prob_.assign(k, 0.0);
+  alias_.assign(k, 0);
+  std::vector<double> scaled(k);
+  for (size_t i = 0; i < k; ++i) scaled[i] = weights[i] * k / total;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (uint32_t l : large) prob_[l] = 1.0;
+  for (uint32_t s : small) prob_[s] = 1.0;
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  const size_t i = rng.NextBounded(prob_.size());
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+double LaplacePdf(double x, double b) {
+  OSDP_CHECK(b > 0.0);
+  return std::exp(-std::abs(x) / b) / (2.0 * b);
+}
+
+double LaplaceCdf(double x, double b) {
+  OSDP_CHECK(b > 0.0);
+  if (x < 0) return 0.5 * std::exp(x / b);
+  return 1.0 - 0.5 * std::exp(-x / b);
+}
+
+double OneSidedLaplacePdf(double x, double b) {
+  OSDP_CHECK(b > 0.0);
+  if (x > 0) return 0.0;
+  return std::exp(x / b) / b;
+}
+
+double OneSidedLaplaceCdf(double x, double b) {
+  OSDP_CHECK(b > 0.0);
+  if (x >= 0) return 1.0;
+  return std::exp(x / b);
+}
+
+double OneSidedLaplaceMedian(double b) { return -std::log(2.0) * b; }
+
+}  // namespace osdp

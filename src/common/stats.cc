@@ -1,0 +1,70 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace osdp {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double mu = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - mu) * (x - mu);
+  return sum / static_cast<double>(xs.size());
+}
+
+double Stddev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Percentile(std::vector<double> xs, double p) {
+  OSDP_CHECK(!xs.empty());
+  OSDP_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double Median(std::vector<double> xs) { return Percentile(std::move(xs), 50.0); }
+
+double L1Norm(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += std::abs(x);
+  return sum;
+}
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  OSDP_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum;
+}
+
+double LInfDistance(const std::vector<double>& a, const std::vector<double>& b) {
+  OSDP_CHECK(a.size() == b.size());
+  double best = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::abs(a[i] - b[i]));
+  }
+  return best;
+}
+
+void RunningStats::Add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+}  // namespace osdp

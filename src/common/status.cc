@@ -1,0 +1,43 @@
+#include "src/common/status.h"
+
+namespace osdp {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kBudgetExhausted:
+      return "Budget exhausted";
+    case StatusCode::kPolicyViolation:
+      return "Policy violation";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kIOError:
+      return "IO error";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace osdp

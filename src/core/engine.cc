@@ -1,0 +1,116 @@
+#include "src/core/engine.h"
+
+#include <utility>
+
+#include "src/common/distributions.h"
+#include "src/mech/laplace.h"
+#include "src/mech/osdp_laplace.h"
+#include "src/mech/osdp_rr.h"
+
+namespace osdp {
+
+const char* EngineMechanismToString(EngineMechanism m) {
+  switch (m) {
+    case EngineMechanism::kLaplace:
+      return "Laplace";
+    case EngineMechanism::kOsdpLaplace:
+      return "OsdpLaplace";
+    case EngineMechanism::kOsdpLaplaceL1:
+      return "OsdpLaplaceL1";
+    case EngineMechanism::kDawa:
+      return "DAWA";
+    case EngineMechanism::kDawaz:
+      return "DAWAz";
+  }
+  return "?";
+}
+
+OsdpEngine::OsdpEngine(Table data, Policy policy, Options options)
+    : data_(std::move(data)),
+      policy_(std::move(policy)),
+      options_(options),
+      budget_(options.total_epsilon),
+      rng_(options.seed) {
+  ns_mask_ = policy_.NonSensitiveMask(data_);
+}
+
+Result<OsdpEngine> OsdpEngine::Create(Table data, Policy policy,
+                                      Options options) {
+  if (options.total_epsilon <= 0.0) {
+    return Status::InvalidArgument("total_epsilon must be positive");
+  }
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("engine needs a non-empty dataset");
+  }
+  return OsdpEngine(std::move(data), std::move(policy), options);
+}
+
+Result<Table> OsdpEngine::ReleaseSample(double epsilon) {
+  OSDP_RETURN_IF_ERROR(budget_.Spend(epsilon, "OsdpRR sample"));
+  auto released = OsdpRRRelease(data_, policy_, epsilon, rng_);
+  if (!released.ok()) return released.status();
+  ledger_.Record(policy_, epsilon, "OsdpRR sample");
+  return released;
+}
+
+Result<Histogram> OsdpEngine::AnswerHistogram(const HistogramQuery& query,
+                                              double epsilon,
+                                              EngineMechanism mechanism) {
+  // Compute the histograms *before* charging: a malformed query must not
+  // burn budget.
+  OSDP_ASSIGN_OR_RETURN(Histogram x, ComputeHistogram(data_, query));
+  OSDP_ASSIGN_OR_RETURN(Histogram xns,
+                        ComputeHistogramMasked(data_, query, ns_mask_));
+
+  Result<Histogram> out = Status::Internal("unreachable");
+  switch (mechanism) {
+    case EngineMechanism::kLaplace:
+      out = LaplaceMechanism(x, epsilon, rng_);
+      break;
+    case EngineMechanism::kOsdpLaplace:
+      out = OsdpLaplace(xns, epsilon, rng_);
+      break;
+    case EngineMechanism::kOsdpLaplaceL1:
+      out = OsdpLaplaceL1(xns, epsilon, rng_);
+      break;
+    case EngineMechanism::kDawa: {
+      auto r = Dawa(x, epsilon, options_.dawa, rng_);
+      if (!r.ok()) {
+        out = r.status();
+      } else {
+        out = std::move(r->estimate);
+      }
+      break;
+    }
+    case EngineMechanism::kDawaz:
+      out = Dawaz(x, xns, epsilon, options_.dawaz, rng_);
+      break;
+  }
+  if (!out.ok()) return out.status();
+  OSDP_RETURN_IF_ERROR(budget_.Spend(
+      epsilon, std::string("histogram/") + EngineMechanismToString(mechanism)));
+  ledger_.Record(policy_, epsilon,
+                 std::string("histogram/") + EngineMechanismToString(mechanism));
+  return out;
+}
+
+Result<double> OsdpEngine::AnswerCount(const Predicate& where, double epsilon) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  double count = 0.0;
+  for (size_t row = 0; row < data_.num_rows(); ++row) {
+    if (ns_mask_[row] && where.Eval(data_, row)) count += 1.0;
+  }
+  OSDP_RETURN_IF_ERROR(budget_.Spend(epsilon, "count query"));
+  ledger_.Record(policy_, epsilon, "count query");
+  // One-sided Laplace with sensitivity 1: a one-sided neighbor can only
+  // grow the non-sensitive count (Section 5.1).
+  return count + SampleOneSidedLaplace(rng_, 1.0 / epsilon);
+}
+
+Result<ComposedGuarantee> OsdpEngine::CurrentGuarantee() const {
+  return ledger_.Sequential();
+}
+
+}  // namespace osdp

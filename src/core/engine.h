@@ -1,0 +1,102 @@
+// OsdpEngine: the top-level facade tying the library together — a guarded
+// dataset with a policy, a privacy budget, and a composition ledger, through
+// which all releases flow. This is the "online setting" sketched in the
+// paper's Section 7: users dynamically ask queries, the engine enforces the
+// budget and tracks the composed (P, ε)-OSDP guarantee (Theorem 3.3).
+
+#ifndef OSDP_CORE_ENGINE_H_
+#define OSDP_CORE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/accounting/budget.h"
+#include "src/accounting/composition.h"
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/data/table.h"
+#include "src/hist/histogram.h"
+#include "src/hist/histogram_query.h"
+#include "src/mech/dawa.h"
+#include "src/mech/dawaz.h"
+#include "src/policy/policy.h"
+
+namespace osdp {
+
+/// Which algorithm answers a histogram query through the engine.
+enum class EngineMechanism {
+  kLaplace = 0,        ///< ε-DP Laplace on the full histogram
+  kOsdpLaplace = 1,    ///< one-sided Laplace on x_ns (Definition 5.2)
+  kOsdpLaplaceL1 = 2,  ///< Algorithm 2
+  kDawa = 3,           ///< ε-DP DAWA on the full histogram
+  kDawaz = 4,          ///< Algorithm 3
+};
+
+/// \brief A policy-guarded dataset with budgeted OSDP query answering.
+///
+/// Every successful release charges the budget and records a ledger entry;
+/// CurrentGuarantee() reports the sequential composition of everything
+/// released so far. Releases fail cleanly with kBudgetExhausted once the
+/// budget is spent — the dataset never leaks beyond its total ε.
+class OsdpEngine {
+ public:
+  /// Engine configuration.
+  struct Options {
+    double total_epsilon = 1.0;  ///< lifetime privacy budget
+    uint64_t seed = 0x05D9;      ///< randomness seed (reproducible runs)
+    DawaOptions dawa;            ///< options for DAWA-based mechanisms
+    DawazOptions dawaz;          ///< options for DAWAz
+  };
+
+  /// Takes ownership of the data; `policy` marks sensitive records.
+  static Result<OsdpEngine> Create(Table data, Policy policy, Options options);
+
+  /// \brief Releases a true sample of the non-sensitive records via OsdpRR
+  /// (Algorithm 1), charging `epsilon`.
+  Result<Table> ReleaseSample(double epsilon);
+
+  /// \brief Answers a histogram query with the chosen mechanism, charging
+  /// `epsilon`. DP mechanisms run on the full histogram; OSDP mechanisms on
+  /// the masked non-sensitive histogram (plus the full one for DAWAz).
+  Result<Histogram> AnswerHistogram(const HistogramQuery& query,
+                                    double epsilon,
+                                    EngineMechanism mechanism);
+
+  /// \brief Answers a scalar count (rows matching `where`) with one-sided
+  /// Laplace noise over the non-sensitive rows, charging `epsilon`.
+  Result<double> AnswerCount(const Predicate& where, double epsilon);
+
+  /// Remaining lifetime budget.
+  double remaining_budget() const { return budget_.remaining(); }
+
+  /// The budget ledger (one charge per successful release).
+  const PrivacyBudget& budget() const { return budget_; }
+
+  /// \brief The sequential composition of every release so far
+  /// (Theorem 3.3). Errors if nothing has been released yet.
+  Result<ComposedGuarantee> CurrentGuarantee() const;
+
+  /// Number of rows in the guarded dataset.
+  size_t num_rows() const { return data_.num_rows(); }
+
+  /// The active policy.
+  const Policy& policy() const { return policy_; }
+
+ private:
+  OsdpEngine(Table data, Policy policy, Options options);
+
+  Table data_;
+  Policy policy_;
+  Options options_;
+  PrivacyBudget budget_;
+  CompositionLedger ledger_;
+  Rng rng_;
+  std::vector<bool> ns_mask_;  // cached non-sensitive row mask
+};
+
+/// Name of an EngineMechanism ("Laplace", "DAWAz", ...).
+const char* EngineMechanismToString(EngineMechanism m);
+
+}  // namespace osdp
+
+#endif  // OSDP_CORE_ENGINE_H_

@@ -1,0 +1,278 @@
+#include "src/data/csv.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace osdp {
+
+namespace {
+
+// Splits CSV text into rows of fields, honouring quoted fields.
+Result<std::vector<std::vector<std::string>>> SplitCsv(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    // Skip completely blank physical lines.
+    if (!(row.size() == 1 && row[0].empty())) rows.push_back(std::move(row));
+    row = {};
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::InvalidArgument(
+              "quote inside unquoted field near position " + std::to_string(i));
+        }
+        in_quotes = true;
+        field_started = true;
+        ++i;
+        break;
+      case ',':
+        end_field();
+        ++i;
+        break;
+      case '\r':
+        ++i;
+        break;
+      case '\n':
+        end_row();
+        ++i;
+        break;
+      default:
+        field += c;
+        field_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted field");
+  if (field_started || !row.empty()) end_row();
+  return rows;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeDouble(const std::string& s) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return errno == 0 && end == s.c_str() + s.size();
+}
+
+std::string EscapeField(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+Result<Table> BuildTable(const std::vector<std::vector<std::string>>& rows,
+                         const Schema& schema) {
+  Table table(schema);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& cells = rows[r];
+    if (cells.size() != schema.num_fields()) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(r) + " has " + std::to_string(cells.size()) +
+          " fields, expected " + std::to_string(schema.num_fields()));
+    }
+    Row row;
+    row.reserve(cells.size());
+    for (size_t c = 0; c < cells.size(); ++c) {
+      switch (schema.field(c).type) {
+        case ValueType::kInt64: {
+          if (!LooksLikeInt(cells[c])) {
+            return Status::InvalidArgument("row " + std::to_string(r) +
+                                           ": '" + cells[c] +
+                                           "' is not an integer");
+          }
+          row.emplace_back(
+              static_cast<int64_t>(std::strtoll(cells[c].c_str(), nullptr, 10)));
+          break;
+        }
+        case ValueType::kDouble: {
+          if (!LooksLikeDouble(cells[c])) {
+            return Status::InvalidArgument("row " + std::to_string(r) +
+                                           ": '" + cells[c] +
+                                           "' is not numeric");
+          }
+          row.emplace_back(std::strtod(cells[c].c_str(), nullptr));
+          break;
+        }
+        case ValueType::kString:
+          row.emplace_back(cells[c]);
+          break;
+      }
+    }
+    OSDP_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvTable(const std::string& csv_text) {
+  OSDP_ASSIGN_OR_RETURN(auto rows, SplitCsv(csv_text));
+  if (rows.empty()) return Status::InvalidArgument("empty CSV");
+  if (rows.size() < 2) {
+    return Status::InvalidArgument("CSV has a header but no data rows");
+  }
+  // Infer each column's type from the data rows: int64 ⊂ double ⊂ string.
+  const size_t cols = rows[0].size();
+  std::vector<Field> fields;
+  for (size_t c = 0; c < cols; ++c) {
+    bool all_int = true, all_double = true;
+    for (size_t r = 1; r < rows.size(); ++r) {
+      if (rows[r].size() != cols) {
+        return Status::InvalidArgument("ragged CSV at row " + std::to_string(r));
+      }
+      all_int = all_int && LooksLikeInt(rows[r][c]);
+      all_double = all_double && LooksLikeDouble(rows[r][c]);
+    }
+    ValueType t = all_int ? ValueType::kInt64
+                          : (all_double ? ValueType::kDouble
+                                        : ValueType::kString);
+    fields.push_back({rows[0][c], t});
+  }
+  return BuildTable(rows, Schema(std::move(fields)));
+}
+
+Result<Table> ReadCsvTable(const std::string& csv_text, const Schema& schema) {
+  OSDP_ASSIGN_OR_RETURN(auto rows, SplitCsv(csv_text));
+  if (rows.empty()) return Status::InvalidArgument("empty CSV");
+  if (rows[0].size() != schema.num_fields()) {
+    return Status::InvalidArgument("header arity does not match schema");
+  }
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (rows[0][c] != schema.field(c).name) {
+      return Status::InvalidArgument("header '" + rows[0][c] +
+                                     "' does not match schema column '" +
+                                     schema.field(c).name + "'");
+    }
+  }
+  return BuildTable(rows, schema);
+}
+
+std::string WriteCsvTable(const Table& table) {
+  std::string out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c) out += ",";
+    out += EscapeField(table.schema().field(c).name);
+  }
+  out += "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) out += ",";
+      const Value v = table.GetValue(r, c);
+      switch (v.type()) {
+        case ValueType::kInt64:
+          out += std::to_string(v.AsInt64());
+          break;
+        case ValueType::kDouble: {
+          std::ostringstream ss;
+          ss << v.AsDouble();
+          out += ss.str();
+          break;
+        }
+        case ValueType::kString:
+          out += EscapeField(v.AsString());
+          break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << content;
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+std::string WriteCsvHistogram(const Histogram& hist) {
+  std::string out = "bin,count\n";
+  for (size_t i = 0; i < hist.size(); ++i) {
+    std::ostringstream ss;
+    ss << i << "," << hist[i] << "\n";
+    out += ss.str();
+  }
+  return out;
+}
+
+Result<Histogram> ReadCsvHistogram(const std::string& csv_text) {
+  OSDP_ASSIGN_OR_RETURN(auto rows, SplitCsv(csv_text));
+  if (rows.empty() || rows[0].size() != 2) {
+    return Status::InvalidArgument("expected a 2-column bin,count CSV");
+  }
+  std::vector<double> counts;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 2 || !LooksLikeInt(rows[r][0]) ||
+        !LooksLikeDouble(rows[r][1])) {
+      return Status::InvalidArgument("bad histogram row " + std::to_string(r));
+    }
+    const auto bin = static_cast<size_t>(std::strtoll(rows[r][0].c_str(),
+                                                      nullptr, 10));
+    if (bin != counts.size()) {
+      return Status::InvalidArgument("bins must be consecutive from 0");
+    }
+    counts.push_back(std::strtod(rows[r][1].c_str(), nullptr));
+  }
+  return Histogram(std::move(counts));
+}
+
+}  // namespace osdp

@@ -1,0 +1,222 @@
+#include "src/data/predicate.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/common/check.h"
+
+namespace osdp {
+
+namespace {
+
+enum class OpKind {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kIn,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+};
+
+bool CompareValues(OpKind op, const Value& lhs, const Value& rhs) {
+  // Numeric columns compare numerically (int64 vs double literals mix freely);
+  // strings compare lexicographically. Cross string/numeric comparison aborts.
+  if (lhs.is_string() || rhs.is_string()) {
+    OSDP_CHECK_MSG(lhs.is_string() && rhs.is_string(),
+                   "string compared against numeric");
+    const std::string& a = lhs.AsString();
+    const std::string& b = rhs.AsString();
+    switch (op) {
+      case OpKind::kEq: return a == b;
+      case OpKind::kNe: return a != b;
+      case OpKind::kLt: return a < b;
+      case OpKind::kLe: return a <= b;
+      case OpKind::kGt: return a > b;
+      case OpKind::kGe: return a >= b;
+      default: OSDP_CHECK_MSG(false, "bad comparison op"); return false;
+    }
+  }
+  const double a = lhs.AsNumeric();
+  const double b = rhs.AsNumeric();
+  switch (op) {
+    case OpKind::kEq: return a == b;
+    case OpKind::kNe: return a != b;
+    case OpKind::kLt: return a < b;
+    case OpKind::kLe: return a <= b;
+    case OpKind::kGt: return a > b;
+    case OpKind::kGe: return a >= b;
+    default: OSDP_CHECK_MSG(false, "bad comparison op"); return false;
+  }
+}
+
+const char* OpSymbol(OpKind op) {
+  switch (op) {
+    case OpKind::kEq: return "=";
+    case OpKind::kNe: return "!=";
+    case OpKind::kLt: return "<";
+    case OpKind::kLe: return "<=";
+    case OpKind::kGt: return ">";
+    case OpKind::kGe: return ">=";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+struct Predicate::Node {
+  OpKind op;
+  // Leaf payload.
+  std::string column;
+  std::vector<Value> literals;
+  // Children for logical nodes.
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+};
+
+namespace {
+
+Predicate::Node MakeLeaf(OpKind op, std::string column, std::vector<Value> lits) {
+  Predicate::Node n;
+  n.op = op;
+  n.column = std::move(column);
+  n.literals = std::move(lits);
+  return n;
+}
+
+bool EvalNode(const Predicate::Node& n, const Schema& schema,
+              const std::function<Value(size_t col)>& cell) {
+  switch (n.op) {
+    case OpKind::kTrue:
+      return true;
+    case OpKind::kFalse:
+      return false;
+    case OpKind::kAnd:
+      return EvalNode(*n.left, schema, cell) && EvalNode(*n.right, schema, cell);
+    case OpKind::kOr:
+      return EvalNode(*n.left, schema, cell) || EvalNode(*n.right, schema, cell);
+    case OpKind::kNot:
+      return !EvalNode(*n.left, schema, cell);
+    default:
+      break;
+  }
+  auto idx = schema.FieldIndex(n.column);
+  OSDP_CHECK_MSG(idx.ok(), "predicate references unknown column " << n.column);
+  const Value v = cell(idx.ValueOrDie());
+  if (n.op == OpKind::kIn) {
+    return std::any_of(n.literals.begin(), n.literals.end(),
+                       [&](const Value& lit) {
+                         return CompareValues(OpKind::kEq, v, lit);
+                       });
+  }
+  OSDP_CHECK(n.literals.size() == 1);
+  return CompareValues(n.op, v, n.literals[0]);
+}
+
+std::string NodeToString(const Predicate::Node& n) {
+  switch (n.op) {
+    case OpKind::kTrue:
+      return "TRUE";
+    case OpKind::kFalse:
+      return "FALSE";
+    case OpKind::kAnd:
+      return "(" + NodeToString(*n.left) + " AND " + NodeToString(*n.right) + ")";
+    case OpKind::kOr:
+      return "(" + NodeToString(*n.left) + " OR " + NodeToString(*n.right) + ")";
+    case OpKind::kNot:
+      return "NOT " + NodeToString(*n.left);
+    case OpKind::kIn: {
+      std::string out = n.column + " IN (";
+      for (size_t i = 0; i < n.literals.size(); ++i) {
+        if (i) out += ", ";
+        out += n.literals[i].ToString();
+      }
+      return out + ")";
+    }
+    default:
+      return n.column + " " + OpSymbol(n.op) + " " + n.literals[0].ToString();
+  }
+}
+
+}  // namespace
+
+#define OSDP_DEFINE_LEAF(Name, Kind)                                     \
+  Predicate Predicate::Name(std::string column, Value literal) {         \
+    return Predicate(std::make_shared<const Node>(                       \
+        MakeLeaf(Kind, std::move(column), {std::move(literal)})));       \
+  }
+
+OSDP_DEFINE_LEAF(Eq, OpKind::kEq)
+OSDP_DEFINE_LEAF(Ne, OpKind::kNe)
+OSDP_DEFINE_LEAF(Lt, OpKind::kLt)
+OSDP_DEFINE_LEAF(Le, OpKind::kLe)
+OSDP_DEFINE_LEAF(Gt, OpKind::kGt)
+OSDP_DEFINE_LEAF(Ge, OpKind::kGe)
+
+#undef OSDP_DEFINE_LEAF
+
+Predicate Predicate::In(std::string column, std::vector<Value> literals) {
+  return Predicate(std::make_shared<const Node>(
+      MakeLeaf(OpKind::kIn, std::move(column), std::move(literals))));
+}
+
+Predicate Predicate::And(Predicate a, Predicate b) {
+  Node n;
+  n.op = OpKind::kAnd;
+  n.left = std::move(a.node_);
+  n.right = std::move(b.node_);
+  return Predicate(std::make_shared<const Node>(std::move(n)));
+}
+
+Predicate Predicate::Or(Predicate a, Predicate b) {
+  Node n;
+  n.op = OpKind::kOr;
+  n.left = std::move(a.node_);
+  n.right = std::move(b.node_);
+  return Predicate(std::make_shared<const Node>(std::move(n)));
+}
+
+Predicate Predicate::Not(Predicate a) {
+  Node n;
+  n.op = OpKind::kNot;
+  n.left = std::move(a.node_);
+  return Predicate(std::make_shared<const Node>(std::move(n)));
+}
+
+Predicate Predicate::True() {
+  Node n;
+  n.op = OpKind::kTrue;
+  return Predicate(std::make_shared<const Node>(std::move(n)));
+}
+
+Predicate Predicate::False() {
+  Node n;
+  n.op = OpKind::kFalse;
+  return Predicate(std::make_shared<const Node>(std::move(n)));
+}
+
+bool Predicate::Eval(const Table& table, size_t row) const {
+  OSDP_CHECK(node_ != nullptr);
+  return EvalNode(*node_, table.schema(),
+                  [&](size_t col) { return table.GetValue(row, col); });
+}
+
+bool Predicate::Eval(const Schema& schema, const Row& row) const {
+  OSDP_CHECK(node_ != nullptr);
+  return EvalNode(*node_, schema, [&](size_t col) {
+    OSDP_CHECK(col < row.size());
+    return row[col];
+  });
+}
+
+std::string Predicate::ToString() const {
+  OSDP_CHECK(node_ != nullptr);
+  return NodeToString(*node_);
+}
+
+}  // namespace osdp

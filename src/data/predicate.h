@@ -1,0 +1,71 @@
+// Predicate: boolean row expressions for policies and query conditions.
+//
+// Predicates are small immutable expression trees built with combinators:
+//
+//   auto minors   = Predicate::Le("age", Value(int64_t{17}));
+//   auto sensitive = Predicate::Or(Predicate::Eq("race", Value("NativeAmerican")),
+//                                  Predicate::Eq("opt_in", Value(int64_t{0})));
+//
+// They evaluate against a (Table, row index) pair so the columnar layout is
+// used directly, and against a materialized Row for single-record checks (the
+// attack analyzer enumerates the record universe this way).
+
+#ifndef OSDP_DATA_PREDICATE_H_
+#define OSDP_DATA_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/table.h"
+#include "src/data/value.h"
+
+namespace osdp {
+
+/// \brief Immutable boolean expression over a row. Cheap to copy (shared
+/// internal nodes).
+class Predicate {
+ public:
+  /// \name Leaf constructors: column <op> literal.
+  /// @{
+  static Predicate Eq(std::string column, Value literal);
+  static Predicate Ne(std::string column, Value literal);
+  static Predicate Lt(std::string column, Value literal);
+  static Predicate Le(std::string column, Value literal);
+  static Predicate Gt(std::string column, Value literal);
+  static Predicate Ge(std::string column, Value literal);
+  /// column ∈ {literals...}
+  static Predicate In(std::string column, std::vector<Value> literals);
+  /// @}
+
+  /// \name Logical combinators.
+  /// @{
+  static Predicate And(Predicate a, Predicate b);
+  static Predicate Or(Predicate a, Predicate b);
+  static Predicate Not(Predicate a);
+  /// Constant true / false.
+  static Predicate True();
+  static Predicate False();
+  /// @}
+
+  /// Evaluates against row `row` of `table`. Missing columns abort: a policy
+  /// evaluated against the wrong schema is a programming error, not data.
+  bool Eval(const Table& table, size_t row) const;
+
+  /// Evaluates against a materialized row with the given schema.
+  bool Eval(const Schema& schema, const Row& row) const;
+
+  /// Debug rendering, e.g. "(age <= 17 OR opt_in = 0)".
+  std::string ToString() const;
+
+  /// Implementation node; public only so internal free functions can name it.
+  struct Node;
+
+ private:
+  explicit Predicate(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace osdp
+
+#endif  // OSDP_DATA_PREDICATE_H_

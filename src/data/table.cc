@@ -1,0 +1,132 @@
+#include "src/data/table.h"
+
+#include "src/common/check.h"
+
+namespace osdp {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const Field& f : schema_.fields()) {
+    switch (f.type) {
+      case ValueType::kInt64:
+        columns_.emplace_back(std::vector<int64_t>{});
+        break;
+      case ValueType::kDouble:
+        columns_.emplace_back(std::vector<double>{});
+        break;
+      case ValueType::kString:
+        columns_.emplace_back(std::vector<std::string>{});
+        break;
+    }
+  }
+}
+
+Status Table::AppendRow(const Row& row) {
+  if (row.size() != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_fields()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != schema_.field(i).type) {
+      return Status::InvalidArgument(
+          "type mismatch in column '" + schema_.field(i).name + "': expected " +
+          ValueTypeToString(schema_.field(i).type) + ", got " +
+          ValueTypeToString(row[i].type()));
+    }
+  }
+  AppendRowUnchecked(row);
+  return Status::OK();
+}
+
+void Table::AppendRowUnchecked(const Row& row) {
+  OSDP_DCHECK(row.size() == schema_.num_fields());
+  for (size_t i = 0; i < row.size(); ++i) {
+    switch (schema_.field(i).type) {
+      case ValueType::kInt64:
+        std::get<std::vector<int64_t>>(columns_[i]).push_back(row[i].AsInt64());
+        break;
+      case ValueType::kDouble:
+        std::get<std::vector<double>>(columns_[i]).push_back(row[i].AsDouble());
+        break;
+      case ValueType::kString:
+        std::get<std::vector<std::string>>(columns_[i])
+            .push_back(row[i].AsString());
+        break;
+    }
+  }
+  ++num_rows_;
+}
+
+Value Table::GetValue(size_t row, size_t col) const {
+  OSDP_CHECK(row < num_rows_ && col < columns_.size());
+  switch (schema_.field(col).type) {
+    case ValueType::kInt64:
+      return Value(std::get<std::vector<int64_t>>(columns_[col])[row]);
+    case ValueType::kDouble:
+      return Value(std::get<std::vector<double>>(columns_[col])[row]);
+    case ValueType::kString:
+      return Value(std::get<std::vector<std::string>>(columns_[col])[row]);
+  }
+  return Value();
+}
+
+Row Table::GetRow(size_t row) const {
+  Row out;
+  out.reserve(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) out.push_back(GetValue(row, c));
+  return out;
+}
+
+const std::vector<int64_t>& Table::Int64Column(size_t col) const {
+  OSDP_CHECK(col < columns_.size());
+  return std::get<std::vector<int64_t>>(columns_[col]);
+}
+
+const std::vector<double>& Table::DoubleColumn(size_t col) const {
+  OSDP_CHECK(col < columns_.size());
+  return std::get<std::vector<double>>(columns_[col]);
+}
+
+const std::vector<std::string>& Table::StringColumn(size_t col) const {
+  OSDP_CHECK(col < columns_.size());
+  return std::get<std::vector<std::string>>(columns_[col]);
+}
+
+Result<const std::vector<int64_t>*> Table::Int64ColumnByName(
+    const std::string& name) const {
+  OSDP_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  if (schema_.field(idx).type != ValueType::kInt64) {
+    return Status::InvalidArgument("column '" + name + "' is not int64");
+  }
+  return &Int64Column(idx);
+}
+
+Result<const std::vector<double>*> Table::DoubleColumnByName(
+    const std::string& name) const {
+  OSDP_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  if (schema_.field(idx).type != ValueType::kDouble) {
+    return Status::InvalidArgument("column '" + name + "' is not double");
+  }
+  return &DoubleColumn(idx);
+}
+
+Result<const std::vector<std::string>*> Table::StringColumnByName(
+    const std::string& name) const {
+  OSDP_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  if (schema_.field(idx).type != ValueType::kString) {
+    return Status::InvalidArgument("column '" + name + "' is not string");
+  }
+  return &StringColumn(idx);
+}
+
+Table Table::SelectRows(const std::vector<size_t>& row_indices) const {
+  Table out(schema_);
+  for (size_t r : row_indices) {
+    OSDP_CHECK(r < num_rows_);
+    out.AppendRowUnchecked(GetRow(r));
+  }
+  return out;
+}
+
+}  // namespace osdp

@@ -1,0 +1,79 @@
+// Table: columnar in-memory storage with typed column accessors.
+
+#ifndef OSDP_DATA_TABLE_H_
+#define OSDP_DATA_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/data/schema.h"
+#include "src/data/value.h"
+
+namespace osdp {
+
+/// A row materialized as dynamic values (construction / debugging API).
+using Row = std::vector<Value>;
+
+/// \brief Columnar table. Rows are appended; columns are read in bulk.
+///
+/// The policy layer classifies rows by index, and mechanisms select row
+/// subsets, so the table exposes row-index-based access throughout.
+class Table {
+ public:
+  Table() = default;
+  /// Creates an empty table with the given schema.
+  explicit Table(Schema schema);
+
+  /// The table's schema.
+  const Schema& schema() const { return schema_; }
+  /// Number of rows.
+  size_t num_rows() const { return num_rows_; }
+  /// Number of columns.
+  size_t num_columns() const { return schema_.num_fields(); }
+
+  /// Appends a row; errors if arity or any cell type mismatches the schema.
+  Status AppendRow(const Row& row);
+
+  /// Appends a row without validation (hot path; caller guarantees types).
+  void AppendRowUnchecked(const Row& row);
+
+  /// Cell accessor as a dynamic Value (slow path).
+  Value GetValue(size_t row, size_t col) const;
+
+  /// Materializes row `row` as dynamic values.
+  Row GetRow(size_t row) const;
+
+  /// \name Typed column views (abort on type mismatch).
+  /// @{
+  const std::vector<int64_t>& Int64Column(size_t col) const;
+  const std::vector<double>& DoubleColumn(size_t col) const;
+  const std::vector<std::string>& StringColumn(size_t col) const;
+  /// @}
+
+  /// Typed column views by name.
+  Result<const std::vector<int64_t>*> Int64ColumnByName(
+      const std::string& name) const;
+  Result<const std::vector<double>*> DoubleColumnByName(
+      const std::string& name) const;
+  Result<const std::vector<std::string>*> StringColumnByName(
+      const std::string& name) const;
+
+  /// Returns a new table containing exactly the rows whose indices are given
+  /// (in the given order). Indices must be valid.
+  Table SelectRows(const std::vector<size_t>& row_indices) const;
+
+ private:
+  using Column = std::variant<std::vector<int64_t>, std::vector<double>,
+                              std::vector<std::string>>;
+
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace osdp
+
+#endif  // OSDP_DATA_TABLE_H_

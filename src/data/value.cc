@@ -1,0 +1,29 @@
+#include "src/data/value.h"
+
+namespace osdp {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble:
+      return std::to_string(AsDouble());
+    case ValueType::kString:
+      return "\"" + AsString() + "\"";
+  }
+  return "?";
+}
+
+}  // namespace osdp

@@ -1,0 +1,69 @@
+#include "src/eval/table_printer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace osdp {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  OSDP_CHECK(!headers_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  OSDP_CHECK_MSG(cells.size() == headers_.size(),
+                 "row arity " << cells.size() << " != " << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) line += "  ";
+    }
+    line += "\n";
+    return line;
+  };
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  out.append(total, '-');
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TextTable::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::FmtAuto(double v) {
+  char buf[64];
+  const double a = std::abs(v);
+  if (a != 0.0 && (a >= 1e6 || a < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  } else if (a >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace osdp

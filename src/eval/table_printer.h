@@ -1,0 +1,37 @@
+// TextTable: aligned console tables for the experiment binaries, so each
+// bench prints the same rows/series the paper's table or figure reports.
+
+#ifndef OSDP_EVAL_TABLE_PRINTER_H_
+#define OSDP_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace osdp {
+
+/// \brief Accumulates rows and renders an aligned plain-text table.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; arity must match the headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with padded columns and a header separator.
+  std::string ToString() const;
+
+  /// Formats a double with fixed precision ("0.123").
+  static std::string Fmt(double v, int precision = 3);
+
+  /// Formats a double in scientific-ish compact form when large.
+  static std::string FmtAuto(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace osdp
+
+#endif  // OSDP_EVAL_TABLE_PRINTER_H_

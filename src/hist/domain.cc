@@ -1,0 +1,77 @@
+#include "src/hist/domain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace osdp {
+
+Domain1D Domain1D::Categorical(size_t size) {
+  OSDP_CHECK(size > 0);
+  return Domain1D(/*categorical=*/true, 0.0, static_cast<double>(size), size);
+}
+
+Result<Domain1D> Domain1D::Numeric(double lo, double hi, size_t bins) {
+  if (!(lo < hi)) {
+    return Status::InvalidArgument("numeric domain requires lo < hi");
+  }
+  if (bins == 0) {
+    return Status::InvalidArgument("numeric domain requires at least one bin");
+  }
+  return Domain1D(/*categorical=*/false, lo, hi, bins);
+}
+
+size_t Domain1D::BinOf(double value) const {
+  OSDP_CHECK(!categorical_);
+  if (value <= lo_) return 0;
+  if (value >= hi_) return size_ - 1;
+  const double width = (hi_ - lo_) / static_cast<double>(size_);
+  const auto bin = static_cast<size_t>((value - lo_) / width);
+  return std::min(bin, size_ - 1);
+}
+
+size_t Domain1D::BinOfCategory(int64_t code) const {
+  OSDP_CHECK_MSG(code >= 0 && static_cast<size_t>(code) < size_,
+                 "category " << code << " outside domain of size " << size_);
+  return static_cast<size_t>(code);
+}
+
+std::pair<double, double> Domain1D::BinBounds(size_t i) const {
+  OSDP_CHECK(i < size_);
+  const double width = (hi_ - lo_) / static_cast<double>(size_);
+  return {lo_ + static_cast<double>(i) * width,
+          lo_ + static_cast<double>(i + 1) * width};
+}
+
+DomainProduct::DomainProduct(std::vector<Domain1D> dims)
+    : dims_(std::move(dims)) {
+  OSDP_CHECK(!dims_.empty());
+  strides_.assign(dims_.size(), 1);
+  for (size_t d = dims_.size(); d-- > 1;) {
+    strides_[d - 1] = strides_[d] * dims_[d].size();
+  }
+  total_ = strides_[0] * dims_[0].size();
+}
+
+size_t DomainProduct::Flatten(const std::vector<size_t>& indices) const {
+  OSDP_CHECK(indices.size() == dims_.size());
+  size_t cell = 0;
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    OSDP_CHECK(indices[d] < dims_[d].size());
+    cell += indices[d] * strides_[d];
+  }
+  return cell;
+}
+
+std::vector<size_t> DomainProduct::Unflatten(size_t cell) const {
+  OSDP_CHECK(cell < total_);
+  std::vector<size_t> out(dims_.size());
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    out[d] = cell / strides_[d];
+    cell %= strides_[d];
+  }
+  return out;
+}
+
+}  // namespace osdp

@@ -1,0 +1,75 @@
+#include "src/hist/histogram_query.h"
+
+#include "src/common/check.h"
+
+namespace osdp {
+
+namespace {
+
+// Returns the bin of `row` in `column` under `domain`, reading the typed
+// column directly. String columns are not binnable.
+Result<size_t> BinOfRow(const Table& table, size_t col_idx,
+                        const Domain1D& domain, size_t row) {
+  const Field& field = table.schema().field(col_idx);
+  switch (field.type) {
+    case ValueType::kInt64: {
+      const int64_t v = table.Int64Column(col_idx)[row];
+      if (domain.is_categorical()) return domain.BinOfCategory(v);
+      return domain.BinOf(static_cast<double>(v));
+    }
+    case ValueType::kDouble: {
+      if (domain.is_categorical()) {
+        return Status::InvalidArgument(
+            "categorical domain over double column '" + field.name + "'");
+      }
+      return domain.BinOf(table.DoubleColumn(col_idx)[row]);
+    }
+    case ValueType::kString:
+      return Status::InvalidArgument("cannot bin string column '" + field.name +
+                                     "'");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<Histogram> ComputeHistogram(const Table& table,
+                                   const HistogramQuery& query) {
+  std::vector<bool> mask(table.num_rows(), true);
+  return ComputeHistogramMasked(table, query, mask);
+}
+
+Result<Histogram> ComputeHistogramMasked(const Table& table,
+                                         const HistogramQuery& query,
+                                         const std::vector<bool>& mask) {
+  if (mask.size() != table.num_rows()) {
+    return Status::InvalidArgument("mask size != table rows");
+  }
+  OSDP_ASSIGN_OR_RETURN(size_t col_idx, table.schema().FieldIndex(query.column));
+  Histogram out(query.domain.size());
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    if (!mask[row]) continue;
+    if (query.where && !query.where->Eval(table, row)) continue;
+    OSDP_ASSIGN_OR_RETURN(size_t bin, BinOfRow(table, col_idx, query.domain, row));
+    out.Add(bin);
+  }
+  return out;
+}
+
+Result<Histogram2D> ComputeHistogram2D(const Table& table,
+                                       const HistogramQuery2D& query) {
+  OSDP_ASSIGN_OR_RETURN(size_t row_idx,
+                        table.schema().FieldIndex(query.row_column));
+  OSDP_ASSIGN_OR_RETURN(size_t col_idx,
+                        table.schema().FieldIndex(query.col_column));
+  Histogram2D out(query.row_domain.size(), query.col_domain.size());
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    if (query.where && !query.where->Eval(table, row)) continue;
+    OSDP_ASSIGN_OR_RETURN(size_t r, BinOfRow(table, row_idx, query.row_domain, row));
+    OSDP_ASSIGN_OR_RETURN(size_t c, BinOfRow(table, col_idx, query.col_domain, row));
+    out.Add(r, c);
+  }
+  return out;
+}
+
+}  // namespace osdp

@@ -1,0 +1,53 @@
+// Histogram queries over the Table substrate: the paper's
+//   SELECT group, COUNT(*) FROM table WHERE <condition> GROUP BY <keys>
+// with zero and non-zero groups both reported (Section 5).
+
+#ifndef OSDP_HIST_HISTOGRAM_QUERY_H_
+#define OSDP_HIST_HISTOGRAM_QUERY_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/data/predicate.h"
+#include "src/data/table.h"
+#include "src/hist/domain.h"
+#include "src/hist/histogram.h"
+
+namespace osdp {
+
+/// \brief A 1-D histogram query: bin `column` by `domain`, optionally
+/// filtering rows by `where` first.
+struct HistogramQuery {
+  std::string column;
+  Domain1D domain;
+  std::optional<Predicate> where;
+};
+
+/// Evaluates a 1-D histogram query over all rows of `table`.
+Result<Histogram> ComputeHistogram(const Table& table,
+                                   const HistogramQuery& query);
+
+/// Evaluates the query over only the rows for which `mask[row]` is true.
+/// `mask` must have one entry per row. This is how OSDP mechanisms compute
+/// x_ns, the histogram over non-sensitive records.
+Result<Histogram> ComputeHistogramMasked(const Table& table,
+                                         const HistogramQuery& query,
+                                         const std::vector<bool>& mask);
+
+/// \brief A 2-D histogram query over two binned columns (row dim, col dim).
+struct HistogramQuery2D {
+  std::string row_column;
+  Domain1D row_domain;
+  std::string col_column;
+  Domain1D col_domain;
+  std::optional<Predicate> where;
+};
+
+/// Evaluates a 2-D histogram query over all rows.
+Result<Histogram2D> ComputeHistogram2D(const Table& table,
+                                       const HistogramQuery2D& query);
+
+}  // namespace osdp
+
+#endif  // OSDP_HIST_HISTOGRAM_QUERY_H_

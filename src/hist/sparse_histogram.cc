@@ -1,0 +1,35 @@
+#include "src/hist/sparse_histogram.h"
+
+namespace osdp {
+
+void SparseHistogram::DropZeros() {
+  for (auto it = counts_.begin(); it != counts_.end();) {
+    if (it->second == 0.0) {
+      it = counts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t EncodeNGram(const std::vector<int>& symbols, int alphabet) {
+  OSDP_CHECK(alphabet > 1);
+  uint64_t cell = 0;
+  for (int s : symbols) {
+    OSDP_CHECK(s >= 0 && s < alphabet);
+    cell = cell * static_cast<uint64_t>(alphabet) + static_cast<uint64_t>(s);
+  }
+  return cell;
+}
+
+std::vector<int> DecodeNGram(uint64_t cell, int alphabet, int n) {
+  OSDP_CHECK(alphabet > 1 && n > 0);
+  std::vector<int> out(n);
+  for (int i = n; i-- > 0;) {
+    out[i] = static_cast<int>(cell % static_cast<uint64_t>(alphabet));
+    cell /= static_cast<uint64_t>(alphabet);
+  }
+  return out;
+}
+
+}  // namespace osdp

@@ -1,0 +1,66 @@
+#include "src/hist/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace osdp {
+
+Workload::Workload(std::vector<RangeQuery> queries, size_t domain_size)
+    : queries_(std::move(queries)), domain_size_(domain_size) {
+  OSDP_CHECK(domain_size_ > 0);
+  for (const RangeQuery& q : queries_) {
+    OSDP_CHECK(q.lo <= q.hi && q.hi < domain_size_);
+  }
+}
+
+Workload Workload::Identity(size_t domain_size) {
+  std::vector<RangeQuery> qs;
+  qs.reserve(domain_size);
+  for (size_t i = 0; i < domain_size; ++i) qs.push_back({i, i});
+  return Workload(std::move(qs), domain_size);
+}
+
+Workload Workload::Prefixes(size_t domain_size) {
+  std::vector<RangeQuery> qs;
+  qs.reserve(domain_size);
+  for (size_t i = 0; i < domain_size; ++i) qs.push_back({0, i});
+  return Workload(std::move(qs), domain_size);
+}
+
+Workload Workload::RandomRanges(size_t domain_size, size_t count, Rng& rng) {
+  std::vector<RangeQuery> qs;
+  qs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t a = rng.NextBounded(domain_size);
+    size_t b = rng.NextBounded(domain_size);
+    if (a > b) std::swap(a, b);
+    qs.push_back({a, b});
+  }
+  return Workload(std::move(qs), domain_size);
+}
+
+std::vector<double> Workload::Evaluate(const Histogram& hist) const {
+  OSDP_CHECK(hist.size() == domain_size_);
+  // Prefix sums make each range O(1).
+  std::vector<double> prefix(domain_size_ + 1, 0.0);
+  for (size_t i = 0; i < domain_size_; ++i) prefix[i + 1] = prefix[i] + hist[i];
+  std::vector<double> out;
+  out.reserve(queries_.size());
+  for (const RangeQuery& q : queries_) {
+    out.push_back(prefix[q.hi + 1] - prefix[q.lo]);
+  }
+  return out;
+}
+
+double Workload::AverageAbsoluteError(const Histogram& truth,
+                                      const Histogram& estimate) const {
+  const std::vector<double> a = Evaluate(truth);
+  const std::vector<double> b = Evaluate(estimate);
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return queries_.empty() ? 0.0 : sum / static_cast<double>(queries_.size());
+}
+
+}  // namespace osdp

@@ -1,0 +1,54 @@
+// Range-query workloads over 1-D histograms (used by DAWA's cost model and
+// by tests that check mechanism utility on derived range queries).
+
+#ifndef OSDP_HIST_WORKLOAD_H_
+#define OSDP_HIST_WORKLOAD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/hist/histogram.h"
+
+namespace osdp {
+
+/// Inclusive range-count query over histogram bins [lo, hi].
+struct RangeQuery {
+  size_t lo;
+  size_t hi;
+};
+
+/// \brief An ordered collection of range queries over a d-bin domain.
+class Workload {
+ public:
+  /// Builds from explicit queries; all must satisfy lo <= hi < domain_size.
+  Workload(std::vector<RangeQuery> queries, size_t domain_size);
+
+  /// The identity workload: one point query per bin.
+  static Workload Identity(size_t domain_size);
+
+  /// All prefix ranges [0, i].
+  static Workload Prefixes(size_t domain_size);
+
+  /// `count` uniformly random ranges.
+  static Workload RandomRanges(size_t domain_size, size_t count, Rng& rng);
+
+  size_t domain_size() const { return domain_size_; }
+  size_t size() const { return queries_.size(); }
+  const std::vector<RangeQuery>& queries() const { return queries_; }
+
+  /// Evaluates every query against `hist` (must have domain_size bins).
+  std::vector<double> Evaluate(const Histogram& hist) const;
+
+  /// Average absolute error of `estimate`'s answers vs `truth`'s answers.
+  double AverageAbsoluteError(const Histogram& truth,
+                              const Histogram& estimate) const;
+
+ private:
+  std::vector<RangeQuery> queries_;
+  size_t domain_size_;
+};
+
+}  // namespace osdp
+
+#endif  // OSDP_HIST_WORKLOAD_H_

@@ -1,0 +1,49 @@
+// AHP: Accurate Histogram Publication under differential privacy (Zhang et
+// al., cited as [38] and named in Section 5.2 as a recipe-extensible
+// two-phase algorithm). Reimplemented from scratch.
+//
+// Phase 1 (budget ε₁): release a noisy copy of the histogram, threshold the
+// small counts to zero (denoising), and greedily cluster bins with similar
+// noisy counts — AHP clusters by *value*, not by position, so groups are
+// non-contiguous sets of bins.
+// Phase 2 (budget ε₂): perturb each cluster's total with Lap(2/ε₂) and
+// assign every member bin the cluster mean.
+//
+// Calibration notes (documented simplifications of the original):
+//  * the threshold is scale·√(2 ln d) — the standard universal denoising
+//    threshold for Laplace noise of the given scale;
+//  * clusters grow (over the value-sorted bins) while the spread between the
+//    cluster's extreme noisy counts stays under twice the phase-2 noise
+//    scale, balancing approximation error against noise, which is the
+//    original's error-balancing criterion in simplified form.
+
+#ifndef OSDP_MECH_AHP_H_
+#define OSDP_MECH_AHP_H_
+
+#include <memory>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/hist/histogram.h"
+#include "src/mech/two_phase.h"
+
+namespace osdp {
+
+/// Parameters of AHP.
+struct AhpOptions {
+  /// Fraction of ε spent on phase-1 structure learning.
+  double structure_budget_ratio = 0.5;
+  /// Clamp negative bin estimates to zero.
+  bool clamp_non_negative = true;
+};
+
+/// \brief Runs AHP on histogram `x` under ε-DP; exposes the clusters.
+Result<TwoPhaseMechanism::Output> Ahp(const Histogram& x, double epsilon,
+                                      const AhpOptions& opts, Rng& rng);
+
+/// AHP through the two-phase interface (for the Section 5.2 recipe).
+std::unique_ptr<TwoPhaseMechanism> MakeAhpTwoPhase(AhpOptions opts = {});
+
+}  // namespace osdp
+
+#endif  // OSDP_MECH_AHP_H_

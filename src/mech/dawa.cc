@@ -1,0 +1,154 @@
+#include "src/mech/dawa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/common/distributions.h"
+
+namespace osdp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Resolves kAuto to a concrete strategy for a d-bin domain.
+DawaPositions ResolvePositions(DawaPositions positions, size_t d) {
+  if (positions != DawaPositions::kAuto) return positions;
+  return d <= 512 ? DawaPositions::kEvery : DawaPositions::kHalfOverlap;
+}
+
+// Start-position step for intervals of length `len` under `positions`.
+size_t PositionStep(DawaPositions positions, size_t len) {
+  return positions == DawaPositions::kEvery ? 1 : std::max<size_t>(1, len / 2);
+}
+
+// Σ_{i∈[begin,end)} |x[i] - mean| given the range sum, via a second pass.
+double L1DeviationFromMean(const std::vector<double>& x, size_t begin,
+                           size_t end, double sum) {
+  const double mean = sum / static_cast<double>(end - begin);
+  double dev = 0.0;
+  for (size_t i = begin; i < end; ++i) dev += std::abs(x[i] - mean);
+  return dev;
+}
+
+// The partition dynamic program. `cost(begin, end)` returns the bucket cost
+// (deviation + per-bucket charge) of interval [begin, end). Allowed intervals
+// have power-of-two lengths with start positions aligned to PositionStep.
+// best[j] = min cost of partitioning prefix [0, j).
+template <typename CostFn>
+std::vector<DawaBucket> PartitionDP(size_t d, DawaPositions positions,
+                                    const CostFn& cost) {
+  std::vector<double> best(d + 1, kInf);
+  std::vector<size_t> back(d + 1, 0);  // begin of the last bucket
+  best[0] = 0.0;
+  for (size_t end = 1; end <= d; ++end) {
+    for (size_t len = 1; len <= end; len <<= 1) {
+      const size_t begin = end - len;
+      // The interval must start on an allowed position for its length.
+      if (begin % PositionStep(positions, len) != 0) continue;
+      if (best[begin] == kInf) continue;
+      const double cand = best[begin] + cost(begin, end);
+      if (cand < best[end]) {
+        best[end] = cand;
+        back[end] = begin;
+      }
+    }
+    // Length-1 intervals are always allowed, so every prefix is reachable.
+    OSDP_CHECK(best[end] < kInf);
+  }
+  std::vector<DawaBucket> buckets;
+  for (size_t end = d; end > 0; end = back[end]) {
+    buckets.push_back({back[end], end});
+  }
+  std::reverse(buckets.begin(), buckets.end());
+  return buckets;
+}
+
+}  // namespace
+
+std::vector<DawaBucket> OptimalL1Partition(const std::vector<double>& x,
+                                           double bucket_charge,
+                                           DawaPositions positions) {
+  OSDP_CHECK(!x.empty());
+  const size_t d = x.size();
+  const DawaPositions pos = ResolvePositions(positions, d);
+  std::vector<double> prefix(d + 1, 0.0);
+  for (size_t i = 0; i < d; ++i) prefix[i + 1] = prefix[i] + x[i];
+  return PartitionDP(d, pos, [&](size_t begin, size_t end) {
+    const double sum = prefix[end] - prefix[begin];
+    return L1DeviationFromMean(x, begin, end, sum) + bucket_charge;
+  });
+}
+
+Result<DawaResult> Dawa(const Histogram& x, double epsilon,
+                        const DawaOptions& opts, Rng& rng) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (opts.partition_budget_ratio <= 0.0 || opts.partition_budget_ratio >= 1.0) {
+    return Status::InvalidArgument("partition_budget_ratio must be in (0,1)");
+  }
+  if (x.size() == 0) {
+    return Status::InvalidArgument("empty histogram");
+  }
+  const size_t d = x.size();
+  const double eps1 = opts.partition_budget_ratio * epsilon;
+  const double eps2 = epsilon - eps1;
+  const DawaPositions pos = ResolvePositions(opts.positions, d);
+
+  // ---- Stage 1: ε₁-DP noisy histogram; partition is post-processing. ----
+  const double stage1_scale = 2.0 / eps1;  // histogram sensitivity 2 (bounded)
+  std::vector<double> noisy(d);
+  for (size_t i = 0; i < d; ++i) {
+    noisy[i] = x[i] + SampleLaplace(rng, stage1_scale);
+  }
+  std::vector<double> prefix(d + 1, 0.0);
+  for (size_t i = 0; i < d; ++i) prefix[i + 1] = prefix[i] + noisy[i];
+
+  // Bucket cost on the noisy data, debiased: Lap(b) noise inflates the L1
+  // deviation of a len-bin interval by ≈ len·E|Lap(b)| = len·b, so subtract
+  // it (clamped at zero). Each bucket then pays the stage-2 noise charge
+  // E|Lap(2/ε₂)| = 2/ε₂ regardless of its width.
+  const double noise_dev_per_bin = stage1_scale;
+  const double bucket_charge = 2.0 / eps2;
+  auto cost = [&](size_t begin, size_t end) {
+    const double sum = prefix[end] - prefix[begin];
+    const double dev = L1DeviationFromMean(noisy, begin, end, sum);
+    const double debiased =
+        std::max(0.0, dev - static_cast<double>(end - begin) * noise_dev_per_bin);
+    return debiased + bucket_charge;
+  };
+  std::vector<DawaBucket> buckets = PartitionDP(d, pos, cost);
+
+  // ---- Stage 2: ε₂-DP bucket totals, spread uniformly. ----
+  // One record change moves one unit between two buckets at most, so the
+  // bucket-total vector has the same L1 sensitivity 2 as the histogram.
+  std::vector<double> true_prefix(d + 1, 0.0);
+  for (size_t i = 0; i < d; ++i) true_prefix[i + 1] = true_prefix[i] + x[i];
+  Histogram estimate(d);
+  const double stage2_scale = 2.0 / eps2;
+  for (const DawaBucket& b : buckets) {
+    const double total = true_prefix[b.end] - true_prefix[b.begin];
+    double noisy_total = total + SampleLaplace(rng, stage2_scale);
+    if (opts.clamp_non_negative) noisy_total = std::max(noisy_total, 0.0);
+    const double per_bin = noisy_total / static_cast<double>(b.size());
+    for (size_t i = b.begin; i < b.end; ++i) estimate[i] = per_bin;
+  }
+  return DawaResult{std::move(estimate), std::move(buckets)};
+}
+
+Result<DawaResult> Dawa(const Histogram& x, double epsilon, Rng& rng) {
+  return Dawa(x, epsilon, DawaOptions{}, rng);
+}
+
+PrivacyGuarantee DawaGuarantee(double epsilon) {
+  PrivacyGuarantee g;
+  g.model = PrivacyModel::kDP;
+  g.epsilon = epsilon;
+  g.exclusion_attack_phi = epsilon;
+  return g;
+}
+
+}  // namespace osdp

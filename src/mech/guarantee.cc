@@ -1,0 +1,38 @@
+#include "src/mech/guarantee.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace osdp {
+
+const char* PrivacyModelToString(PrivacyModel m) {
+  switch (m) {
+    case PrivacyModel::kNone:
+      return "None";
+    case PrivacyModel::kDP:
+      return "DP";
+    case PrivacyModel::kOSDP:
+      return "OSDP";
+    case PrivacyModel::kEOSDP:
+      return "eOSDP";
+    case PrivacyModel::kPDP:
+      return "PDP";
+  }
+  return "?";
+}
+
+std::string PrivacyGuarantee::ToString() const {
+  std::ostringstream out;
+  if (model == PrivacyModel::kNone) return "no guarantee";
+  out << "(";
+  if (!policy_name.empty()) out << policy_name << ", ";
+  out << epsilon << ")-" << PrivacyModelToString(model);
+  if (std::isfinite(exclusion_attack_phi)) {
+    out << " [phi=" << exclusion_attack_phi << "]";
+  } else {
+    out << " [no exclusion-attack freedom]";
+  }
+  return out.str();
+}
+
+}  // namespace osdp

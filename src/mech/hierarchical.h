@@ -1,0 +1,49 @@
+// Hierarchical histogram release with constrained inference (Hay et al.,
+// "Boosting the Accuracy of Differentially Private Histograms Through
+// Consistency" — the H_b method DPBench benchmarks alongside DAWA).
+// Reimplemented from scratch as an additional ε-DP baseline and a recipe
+// substrate.
+//
+// A k-ary interval tree is built over the domain; every node's count is
+// perturbed with Lap(2·h/ε) where h is the tree height (each record appears
+// in h node counts, so the node-count vector has sensitivity 2h under the
+// bounded model). Constrained inference then enforces tree consistency:
+//   * upward pass: each internal node's estimate becomes the variance-
+//     optimal convex combination of its own noisy count and the sum of its
+//     children's estimates;
+//   * downward pass: the residual between a node's final estimate and its
+//     children's sum is split equally among the children.
+// Leaves form the released histogram.
+
+#ifndef OSDP_MECH_HIERARCHICAL_H_
+#define OSDP_MECH_HIERARCHICAL_H_
+
+#include <memory>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/hist/histogram.h"
+#include "src/mech/two_phase.h"
+
+namespace osdp {
+
+/// Parameters of the hierarchical mechanism.
+struct HierarchicalOptions {
+  int fanout = 4;                 ///< tree arity (Hay et al. recommend ~4-16)
+  bool clamp_non_negative = true; ///< clamp leaf estimates at zero
+};
+
+/// \brief Runs the hierarchical mechanism on `x` under ε-DP. The exposed
+/// grouping is one singleton per bin (the model constrains but does not
+/// merge bins), so the recipe's reallocation step degenerates to zeroing.
+Result<TwoPhaseMechanism::Output> HierarchicalRelease(
+    const Histogram& x, double epsilon, const HierarchicalOptions& opts,
+    Rng& rng);
+
+/// Hierarchical release through the two-phase interface.
+std::unique_ptr<TwoPhaseMechanism> MakeHierarchicalTwoPhase(
+    HierarchicalOptions opts = {});
+
+}  // namespace osdp
+
+#endif  // OSDP_MECH_HIERARCHICAL_H_

@@ -1,0 +1,86 @@
+// HistogramMechanism: uniform interface over every histogram-release
+// algorithm so the evaluation harness (regret, Section 6.3.3) can run the
+// paper's suite of 4 OSDP + 2 DP algorithms interchangeably.
+
+#ifndef OSDP_MECH_HISTOGRAM_MECHANISM_H_
+#define OSDP_MECH_HISTOGRAM_MECHANISM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/hist/histogram.h"
+#include "src/mech/dawa.h"
+#include "src/mech/dawaz.h"
+#include "src/mech/guarantee.h"
+#include "src/mech/suppress.h"
+
+namespace osdp {
+
+/// \brief Abstract histogram-release mechanism.
+///
+/// Every implementation consumes the pair (x, x_ns) — the histogram over all
+/// records and over the non-sensitive subset — even though DP mechanisms
+/// read only x and pure OSDP primitives read only x_ns; the shared signature
+/// is what lets the regret harness treat them uniformly.
+class HistogramMechanism {
+ public:
+  virtual ~HistogramMechanism() = default;
+
+  /// Display name used in experiment tables ("DAWA", "OsdpLaplaceL1", ...).
+  virtual const std::string& name() const = 0;
+
+  /// The formal guarantee of a release at privacy parameter ε.
+  virtual PrivacyGuarantee Guarantee(double epsilon) const = 0;
+
+  /// Releases an estimate of x. `xns` must be per-bin dominated by `x`.
+  virtual Result<Histogram> Run(const Histogram& x, const Histogram& xns,
+                                double epsilon, Rng& rng) const = 0;
+};
+
+/// \name Factories for the individual algorithms.
+/// @{
+
+/// ε-DP Laplace mechanism on x (sensitivity 2).
+std::unique_ptr<HistogramMechanism> MakeLaplaceMechanism();
+
+/// ε-DP DAWA on x.
+std::unique_ptr<HistogramMechanism> MakeDawaMechanism(DawaOptions opts = {});
+
+/// (P, ε)-OSDP randomized-response subsample of x_ns.
+std::unique_ptr<HistogramMechanism> MakeOsdpRRMechanism();
+
+/// (P, ε)-OSDP one-sided Laplace on x_ns.
+std::unique_ptr<HistogramMechanism> MakeOsdpLaplaceMechanism();
+
+/// (P, ε)-OSDP one-sided Laplace with clamp + debias on x_ns (Algorithm 2).
+std::unique_ptr<HistogramMechanism> MakeOsdpLaplaceL1Mechanism();
+
+/// (P, ε)-OSDP DAWAz (Algorithm 3).
+std::unique_ptr<HistogramMechanism> MakeDawazMechanism(DawazOptions opts = {});
+
+/// Φ_P-PDP Suppress at threshold τ (φ = τ exclusion-attack freedom only).
+std::unique_ptr<HistogramMechanism> MakeSuppressMechanism(double tau);
+
+/// Naive recipe extension (Section 5.2): DAWA run unchanged on x_ns. An ε-DP
+/// computation over x_ns is (P, ε)-OSDP because one-sided neighbors perturb
+/// x_ns by at most one count; used by the recipe ablation bench.
+std::unique_ptr<HistogramMechanism> MakeDawaNsMechanism(DawaOptions opts = {});
+/// @}
+
+/// \brief The paper's evaluation suite (Section 6.3.3): Laplace, DAWA,
+/// OsdpRR, OsdpLaplace, OsdpLaplaceL1, DAWAz — the 6 algorithms regret is
+/// measured against.
+std::vector<std::unique_ptr<HistogramMechanism>> StandardSuite();
+
+/// \brief The extended suite: the standard six plus the Section 5.2 recipe
+/// instantiated on AHP and the hierarchical mechanism (AHPz,
+/// Hierarchicalz) and their DP bases — the "other algorithms" the paper
+/// leaves as future work. Defined in mech/recipe.cc.
+std::vector<std::unique_ptr<HistogramMechanism>> ExtendedSuite();
+
+}  // namespace osdp
+
+#endif  // OSDP_MECH_HISTOGRAM_MECHANISM_H_

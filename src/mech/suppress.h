@@ -1,0 +1,40 @@
+// Suppress: the personalized-DP (PDP) baseline of Sections 3.4 and 6.3.3.2.
+//
+// Under PDP every record declares a privacy level Φ(r); modelling a policy P
+// as Φ_P(sensitive) = ε_s and Φ_P(non-sensitive) = ∞, Suppress picks a
+// threshold τ, drops every record with Φ(r) < τ, and runs a τ-DP computation
+// on the rest. For τ > ε_s this drops exactly the sensitive records and adds
+// Lap(2/τ) noise to the non-sensitive histogram.
+//
+// Suppress satisfies Φ_P-PDP but NOT (P, ε)-OSDP: it only enjoys τ-freedom
+// from exclusion attacks (Theorem 3.4), i.e. τ/ε times weaker protection —
+// the quantitative price Figure 10 puts on its competitiveness.
+
+#ifndef OSDP_MECH_SUPPRESS_H_
+#define OSDP_MECH_SUPPRESS_H_
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/hist/histogram.h"
+#include "src/mech/guarantee.h"
+
+namespace osdp {
+
+/// Parameters of Suppress.
+struct SuppressOptions {
+  /// The PDP threshold τ; the kept (non-sensitive) records are released
+  /// through a τ-DP Laplace histogram. Must be positive. Infinity releases
+  /// x_ns exactly (the Section 3.4 exclusion-attack counterexample).
+  double tau = 10.0;
+};
+
+/// \brief Runs Suppress on the non-sensitive histogram x_ns.
+Result<Histogram> Suppress(const Histogram& xns, const SuppressOptions& opts,
+                           Rng& rng);
+
+/// The guarantee of a Suppress release: PDP with φ = τ (Theorem 3.4).
+PrivacyGuarantee SuppressGuarantee(double tau, const std::string& policy_name);
+
+}  // namespace osdp
+
+#endif  // OSDP_MECH_SUPPRESS_H_

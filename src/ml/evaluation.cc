@@ -1,0 +1,162 @@
+#include "src/ml/evaluation.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "src/common/check.h"
+#include "src/ml/objdp.h"
+
+namespace osdp {
+
+Result<double> RocAuc(const std::vector<double>& scores,
+                      const std::vector<int>& labels) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    return Status::InvalidArgument("scores/labels size mismatch or empty");
+  }
+  size_t positives = 0;
+  for (int y : labels) {
+    if (y != 0 && y != 1) return Status::InvalidArgument("labels must be 0/1");
+    positives += static_cast<size_t>(y);
+  }
+  const size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) {
+    return Status::InvalidArgument("AUC needs both classes present");
+  }
+
+  // Midrank assignment.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> rank(scores.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double mid = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                       1.0;  // ranks are 1-based
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  double rank_sum_pos = 0.0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1) rank_sum_pos += rank[k];
+  }
+  const double np = static_cast<double>(positives);
+  const double nn = static_cast<double>(negatives);
+  const double u = rank_sum_pos - np * (np + 1.0) / 2.0;
+  return u / (np * nn);
+}
+
+Result<CvResult> CrossValidateAuc(const Matrix& x, const std::vector<int>& y,
+                                  int folds, const ScorerFactory& factory,
+                                  Rng& rng) {
+  if (folds < 2) return Status::InvalidArgument("need at least 2 folds");
+  if (x.size() != y.size() || x.empty()) {
+    return Status::InvalidArgument("x/y size mismatch or empty");
+  }
+  // Stratified assignment: shuffle within each class, deal round-robin.
+  std::vector<size_t> pos_idx, neg_idx;
+  for (size_t i = 0; i < y.size(); ++i) {
+    (y[i] == 1 ? pos_idx : neg_idx).push_back(i);
+  }
+  if (pos_idx.size() < static_cast<size_t>(folds) ||
+      neg_idx.size() < static_cast<size_t>(folds)) {
+    return Status::InvalidArgument("too few examples per class for k folds");
+  }
+  auto shuffle = [&rng](std::vector<size_t>& v) {
+    for (size_t i = 0; i + 1 < v.size(); ++i) {
+      const size_t j = i + rng.NextBounded(v.size() - i);
+      std::swap(v[i], v[j]);
+    }
+  };
+  shuffle(pos_idx);
+  shuffle(neg_idx);
+  std::vector<int> fold_of(y.size());
+  for (size_t k = 0; k < pos_idx.size(); ++k) {
+    fold_of[pos_idx[k]] = static_cast<int>(k % static_cast<size_t>(folds));
+  }
+  for (size_t k = 0; k < neg_idx.size(); ++k) {
+    fold_of[neg_idx[k]] = static_cast<int>(k % static_cast<size_t>(folds));
+  }
+
+  CvResult result;
+  for (int fold = 0; fold < folds; ++fold) {
+    Matrix train_x, test_x;
+    std::vector<int> train_y, test_y;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (fold_of[i] == fold) {
+        test_x.push_back(x[i]);
+        test_y.push_back(y[i]);
+      } else {
+        train_x.push_back(x[i]);
+        train_y.push_back(y[i]);
+      }
+    }
+    Rng fold_rng = rng.Fork();
+    OSDP_ASSIGN_OR_RETURN(auto scorer, factory(train_x, train_y, fold_rng));
+    std::vector<double> scores;
+    scores.reserve(test_x.size());
+    for (const auto& row : test_x) scores.push_back(scorer(row));
+    OSDP_ASSIGN_OR_RETURN(double auc, RocAuc(scores, test_y));
+    result.fold_aucs.push_back(auc);
+    result.mean_auc += auc;
+  }
+  result.mean_auc /= static_cast<double>(folds);
+  return result;
+}
+
+ScorerFactory RandomScorerFactory() {
+  return [](const Matrix& /*train_x*/, const std::vector<int>& /*train_y*/,
+            Rng& rng) -> Result<std::function<double(const std::vector<double>&)>> {
+    // Capture an independent stream; scores ignore the features entirely.
+    auto state = std::make_shared<Rng>(rng.Fork());
+    return std::function<double(const std::vector<double>&)>(
+        [state](const std::vector<double>&) { return state->NextDouble(); });
+  };
+}
+
+ScorerFactory LogisticScorerFactory(LogisticRegressionOptions opts) {
+  return [opts](const Matrix& train_x, const std::vector<int>& train_y,
+                Rng& /*rng*/)
+             -> Result<std::function<double(const std::vector<double>&)>> {
+    auto scaler = std::make_shared<FeatureScaler>();
+    OSDP_RETURN_IF_ERROR(scaler->Fit(train_x));
+    auto model = std::make_shared<LogisticRegression>();
+    OSDP_RETURN_IF_ERROR(model->Fit(scaler->Transform(train_x), train_y, opts));
+    return std::function<double(const std::vector<double>&)>(
+        [scaler, model](const std::vector<double>& row) {
+          return model->PredictProbability(scaler->Transform({row})[0]);
+        });
+  };
+}
+
+ScorerFactory ObjDpScorerFactory(double epsilon,
+                                 LogisticRegressionOptions opts) {
+  return [epsilon, opts](const Matrix& train_x, const std::vector<int>& train_y,
+                         Rng& rng)
+             -> Result<std::function<double(const std::vector<double>&)>> {
+    auto scaler = std::make_shared<FeatureScaler>();
+    OSDP_RETURN_IF_ERROR(scaler->Fit(train_x));
+    Matrix scaled = scaler->Transform(train_x);
+    NormalizeRowsToUnitBall(&scaled);
+    ObjDpOptions objdp;
+    objdp.epsilon = epsilon;
+    objdp.erm = opts;
+    OSDP_ASSIGN_OR_RETURN(LogisticRegression trained,
+                          TrainObjDp(scaled, train_y, objdp, rng));
+    auto model = std::make_shared<LogisticRegression>(std::move(trained));
+    return std::function<double(const std::vector<double>&)>(
+        [scaler, model](const std::vector<double>& row) {
+          Matrix one = scaler->Transform({row});
+          NormalizeRowsToUnitBall(&one);
+          return model->PredictProbability(one[0]);
+        });
+  };
+}
+
+}  // namespace osdp

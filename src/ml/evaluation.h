@@ -1,0 +1,54 @@
+// Classifier evaluation: ROC AUC and stratified k-fold cross-validation
+// (the paper reports 1 - AUC over 10-fold CV, Section 6.2).
+
+#ifndef OSDP_ML_EVALUATION_H_
+#define OSDP_ML_EVALUATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/ml/logistic_regression.h"
+
+namespace osdp {
+
+/// \brief Area under the ROC curve via the rank statistic (Mann-Whitney U),
+/// with ties resolved by midranks. Errors when either class is absent.
+Result<double> RocAuc(const std::vector<double>& scores,
+                      const std::vector<int>& labels);
+
+/// A trained scoring function: returns P(y=1 | row)-like scores.
+using ScorerFactory = std::function<Result<std::function<double(
+    const std::vector<double>&)>>(const Matrix& train_x,
+                                  const std::vector<int>& train_y, Rng& rng)>;
+
+/// Cross-validation result.
+struct CvResult {
+  double mean_auc = 0.0;
+  std::vector<double> fold_aucs;
+};
+
+/// \brief Stratified k-fold cross-validation of an arbitrary scorer factory.
+/// Each fold trains on the other k-1 folds and scores the held-out fold.
+/// Folds are stratified by label so each contains both classes.
+Result<CvResult> CrossValidateAuc(const Matrix& x, const std::vector<int>& y,
+                                  int folds, const ScorerFactory& factory,
+                                  Rng& rng);
+
+/// The random baseline of Section 6.3.1: scores are label-independent noise,
+/// so AUC converges to 0.5; provided as a ScorerFactory for uniformity.
+ScorerFactory RandomScorerFactory();
+
+/// Plain (non-private) logistic regression as a ScorerFactory, with feature
+/// standardization fit on the training fold.
+ScorerFactory LogisticScorerFactory(LogisticRegressionOptions opts = {});
+
+/// ObjDP logistic regression as a ScorerFactory: standardizes, normalizes
+/// rows into the unit ball, then trains with objective perturbation.
+ScorerFactory ObjDpScorerFactory(double epsilon,
+                                 LogisticRegressionOptions opts = {});
+
+}  // namespace osdp
+
+#endif  // OSDP_ML_EVALUATION_H_

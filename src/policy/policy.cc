@@ -1,0 +1,81 @@
+#include "src/policy/policy.h"
+
+#include "src/common/check.h"
+
+namespace osdp {
+
+Policy Policy::SensitiveWhen(Predicate pred, std::string name) {
+  if (name.empty()) name = "sensitive_when(" + pred.ToString() + ")";
+  return Policy(std::move(pred), std::move(name));
+}
+
+Policy Policy::AllSensitive() { return Policy(Predicate::True(), "P_all"); }
+
+Policy Policy::AllNonSensitive() {
+  return Policy(Predicate::False(), "P_none");
+}
+
+bool Policy::IsSensitive(const Table& table, size_t row) const {
+  return sensitive_.Eval(table, row);
+}
+
+bool Policy::IsSensitive(const Schema& schema, const Row& record) const {
+  return sensitive_.Eval(schema, record);
+}
+
+std::vector<bool> Policy::NonSensitiveMask(const Table& table) const {
+  std::vector<bool> mask(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    mask[r] = IsNonSensitive(table, r);
+  }
+  return mask;
+}
+
+double Policy::NonSensitiveFraction(const Table& table) const {
+  if (table.num_rows() == 0) return 0.0;
+  size_t ns = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    ns += IsNonSensitive(table, r) ? 1 : 0;
+  }
+  return static_cast<double>(ns) / static_cast<double>(table.num_rows());
+}
+
+std::pair<std::vector<size_t>, std::vector<size_t>> Policy::PartitionRows(
+    const Table& table) const {
+  std::vector<size_t> sensitive, non_sensitive;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    (IsSensitive(table, r) ? sensitive : non_sensitive).push_back(r);
+  }
+  return {std::move(sensitive), std::move(non_sensitive)};
+}
+
+Policy Policy::MinimumRelaxation(const Policy& a, const Policy& b) {
+  // P_mr(r) = max(P_a(r), P_b(r)): non-sensitive when either says so, i.e.
+  // sensitive only when both say sensitive. Same-named policies compose to
+  // themselves in spirit, so keep the name readable.
+  const std::string name =
+      a.name_ == b.name_ ? a.name_ : "mr(" + a.name_ + ", " + b.name_ + ")";
+  return Policy(Predicate::And(a.sensitive_, b.sensitive_), name);
+}
+
+Policy Policy::MinimumRelaxation(const std::vector<Policy>& policies) {
+  OSDP_CHECK(!policies.empty());
+  Policy acc = policies[0];
+  for (size_t i = 1; i < policies.size(); ++i) {
+    acc = MinimumRelaxation(acc, policies[i]);
+  }
+  return acc;
+}
+
+bool Policy::IsRelaxationOfOn(const Policy& stricter, const Table& table) const {
+  // `this` ⪯ stricter ⟺ for all rows: this.P(r) >= stricter.P(r)
+  // ⟺ no row is sensitive under `this` but non-sensitive under `stricter`.
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (IsSensitive(table, r) && stricter.IsNonSensitive(table, r)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace osdp

@@ -1,0 +1,102 @@
+#include "src/traj/constraints.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/check.h"
+
+namespace osdp {
+
+namespace {
+
+// BFS over non-sensitive APs from the entrances; returns reachability.
+std::vector<bool> ReachableThroughNonSensitive(
+    const std::vector<std::vector<int>>& graph,
+    const std::vector<bool>& sensitive, const std::vector<int>& entrances) {
+  std::vector<bool> reachable(graph.size(), false);
+  std::queue<int> frontier;
+  for (int e : entrances) {
+    OSDP_CHECK(e >= 0 && static_cast<size_t>(e) < graph.size());
+    if (!sensitive[static_cast<size_t>(e)] &&
+        !reachable[static_cast<size_t>(e)]) {
+      reachable[static_cast<size_t>(e)] = true;
+      frontier.push(e);
+    }
+  }
+  while (!frontier.empty()) {
+    const int ap = frontier.front();
+    frontier.pop();
+    for (int next : graph[static_cast<size_t>(ap)]) {
+      if (sensitive[static_cast<size_t>(next)]) continue;
+      if (reachable[static_cast<size_t>(next)]) continue;
+      reachable[static_cast<size_t>(next)] = true;
+      frontier.push(next);
+    }
+  }
+  return reachable;
+}
+
+}  // namespace
+
+Result<ConstraintAnalysis> AnalyzeReachabilityConstraints(
+    const std::vector<std::vector<int>>& graph, const ApSetPolicy& policy,
+    const std::vector<int>& entrances) {
+  if (graph.empty()) return Status::InvalidArgument("empty AP graph");
+  if (graph.size() != policy.num_aps()) {
+    return Status::InvalidArgument("graph size != policy AP count");
+  }
+  if (entrances.empty()) {
+    return Status::InvalidArgument("need at least one entrance AP");
+  }
+  for (int e : entrances) {
+    if (e < 0 || static_cast<size_t>(e) >= graph.size()) {
+      return Status::OutOfRange("entrance AP outside the graph");
+    }
+  }
+
+  std::vector<bool> sensitive = policy.sensitive_aps();
+  std::vector<int> compromised;
+  int rounds = 0;
+  for (;;) {
+    ++rounds;
+    const std::vector<bool> reachable =
+        ReachableThroughNonSensitive(graph, sensitive, entrances);
+    bool changed = false;
+    for (size_t ap = 0; ap < graph.size(); ++ap) {
+      if (sensitive[ap] || reachable[ap]) continue;
+      // Non-sensitive but unreachable without crossing sensitive ground:
+      // visiting it proves a sensitive visit. Escalate.
+      sensitive[ap] = true;
+      compromised.push_back(static_cast<int>(ap));
+      changed = true;
+    }
+    if (!changed) break;
+  }
+  std::sort(compromised.begin(), compromised.end());
+
+  ConstraintAnalysis out{std::move(compromised), ApSetPolicy(sensitive),
+                         rounds};
+  return out;
+}
+
+std::vector<size_t> FindLeakyTrajectories(
+    const std::vector<Trajectory>& trajectories, const ApSetPolicy& original,
+    const ConstraintAnalysis& analysis) {
+  std::vector<bool> compromised(original.num_aps(), false);
+  for (int ap : analysis.compromised_aps) {
+    compromised[static_cast<size_t>(ap)] = true;
+  }
+  std::vector<size_t> leaky;
+  for (size_t i = 0; i < trajectories.size(); ++i) {
+    if (original.IsSensitive(trajectories[i])) continue;
+    for (int16_t s : trajectories[i].slots) {
+      if (s != kAbsent && compromised[static_cast<size_t>(s)]) {
+        leaky.push_back(i);
+        break;
+      }
+    }
+  }
+  return leaky;
+}
+
+}  // namespace osdp

@@ -1,0 +1,57 @@
+// Constraint-aware policies (paper Section 7, "One-sided differential
+// privacy and constraints"): when domain constraints correlate records, a
+// non-sensitive value can reveal a sensitive one — e.g. "a specific
+// non-sensitive location may be reachable only through a set of locations
+// that are all sensitive. Revealing the fact that a user was in that
+// location ... will reveal the fact that the user was in a sensitive
+// location ... with certainty."
+//
+// This module makes that analysis executable for the building substrate:
+// given the AP adjacency graph, the sensitive-AP set, and the entrance APs,
+// it computes the *compromised* non-sensitive APs (reachable from an
+// entrance only through sensitive APs) and escalates them into the policy
+// until a fixpoint — producing a constraint-closed policy that is safe to
+// use with OsdpRR.
+
+#ifndef OSDP_TRAJ_CONSTRAINTS_H_
+#define OSDP_TRAJ_CONSTRAINTS_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/traj/ap_policy.h"
+
+namespace osdp {
+
+/// Result of a reachability-constraint analysis.
+struct ConstraintAnalysis {
+  /// APs whose visit implies a prior visit to a sensitive AP.
+  std::vector<int> compromised_aps;
+  /// The closed policy: original sensitive set ∪ compromised APs (iterated
+  /// to fixpoint — escalating an AP can strand further APs).
+  ApSetPolicy closed_policy;
+  /// Number of escalation rounds until the fixpoint.
+  int rounds = 0;
+};
+
+/// \brief Analyzes reachability constraints for `policy` on the AP graph.
+///
+/// `graph` is an adjacency list (as from BuildingApGraph); `entrances` are
+/// the APs from which movement can start without crossing any other AP.
+/// A non-sensitive AP that is unreachable from every entrance through
+/// non-sensitive APs alone is compromised.
+Result<ConstraintAnalysis> AnalyzeReachabilityConstraints(
+    const std::vector<std::vector<int>>& graph, const ApSetPolicy& policy,
+    const std::vector<int>& entrances);
+
+/// \brief Audits trajectories against the constraint analysis: returns the
+/// indices of trajectories classified non-sensitive by the ORIGINAL policy
+/// that visit a compromised AP — i.e. records whose release would leak
+/// sensitive presence despite satisfying the naive policy.
+std::vector<size_t> FindLeakyTrajectories(
+    const std::vector<Trajectory>& trajectories, const ApSetPolicy& original,
+    const ConstraintAnalysis& analysis);
+
+}  // namespace osdp
+
+#endif  // OSDP_TRAJ_CONSTRAINTS_H_

@@ -1,0 +1,48 @@
+// Classification features from trajectories (Section 6.2): duration of stay,
+// distinct APs, per-AP visit counts, and frequent consecutive-AP patterns.
+
+#ifndef OSDP_TRAJ_FEATURES_H_
+#define OSDP_TRAJ_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/traj/building_sim.h"
+#include "src/traj/trajectory.h"
+
+namespace osdp {
+
+/// Options for frequent-pattern mining and feature construction.
+struct FeatureOptions {
+  int pattern_length = 3;       ///< (AP1, AP2, AP3) patterns, per the paper
+  int min_pattern_support = 50; ///< appears in >= this many trajectories
+  int max_patterns = 32;        ///< cap, keeping the most frequent
+};
+
+/// \brief Mines consecutive-AP movement patterns of the given length that
+/// appear in at least `min_pattern_support` trajectories (dwell-compressed,
+/// so (a,a,a) dwelling does not qualify). Sorted by support, descending.
+std::vector<std::vector<int>> MineFrequentPatterns(
+    const std::vector<Trajectory>& trajs, const FeatureOptions& opts);
+
+/// A labeled design matrix for the resident-vs-visitor task.
+struct LabeledFeatures {
+  std::vector<std::vector<double>> x;      ///< one row per trajectory
+  std::vector<int> y;                      ///< 1 = resident, 0 = visitor
+  std::vector<std::string> feature_names;  ///< column names, |x[i]| entries
+};
+
+/// \brief Builds features for `trajs`, labeling each trajectory with its
+/// user's ground-truth class from `users` (the simulator substitutes the
+/// paper's attendance-heuristic labels; see DESIGN.md).
+///
+/// Features: present-slot duration; distinct AP count; per-AP visit counts
+/// (num_aps columns); per-pattern occurrence counts.
+Result<LabeledFeatures> BuildClassificationFeatures(
+    const std::vector<Trajectory>& trajs, const std::vector<UserProfile>& users,
+    int num_aps, const std::vector<std::vector<int>>& patterns);
+
+}  // namespace osdp
+
+#endif  // OSDP_TRAJ_FEATURES_H_

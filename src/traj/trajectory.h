@@ -1,0 +1,68 @@
+// Trajectory: one user's daily movement through a smart building, the unit
+// of privacy protection in the paper's TIPPERS experiments (Section 6.1.1).
+//
+// Time is discretized into fixed slots (the paper uses 10-minute intervals,
+// 144 per day); each slot holds the access point (AP) the user's device was
+// most associated with, or kAbsent when the user was not in the building.
+
+#ifndef OSDP_TRAJ_TRAJECTORY_H_
+#define OSDP_TRAJ_TRAJECTORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace osdp {
+
+/// Slot value meaning "not in the building".
+inline constexpr int16_t kAbsent = -1;
+
+/// \brief A single daily trajectory.
+struct Trajectory {
+  int32_t user_id = 0;
+  int32_t day = 0;
+  /// slots[t] = AP id at time slot t, or kAbsent.
+  std::vector<int16_t> slots;
+
+  /// Number of slots the user was present.
+  size_t PresentSlots() const;
+
+  /// Number of distinct APs visited.
+  size_t DistinctAps() const;
+
+  /// True iff the user visited `ap` at least once.
+  bool Visits(int16_t ap) const;
+
+  /// Number of slots spent at `ap`.
+  size_t SlotsAt(int16_t ap) const;
+
+  /// First present slot index, or -1 if never present.
+  int FirstPresentSlot() const;
+
+  /// Last present slot index, or -1 if never present.
+  int LastPresentSlot() const;
+
+  /// \brief All n-grams: AP sequences over n *consecutive present* slots.
+  /// Consecutive repeats are kept (staying at an AP produces (a,a,...)),
+  /// matching "n consecutive access points in a trajectory" over time slots.
+  std::vector<std::vector<int>> NGrams(int n) const;
+
+  /// \brief De-duplicated n-grams (each distinct n-gram once), the unit the
+  /// distinct-user n-gram histogram counts.
+  std::vector<std::vector<int>> DistinctNGrams(int n) const;
+
+  /// True iff the trajectory contains the pattern: visits pattern[0..m) at
+  /// m consecutive present slots (the frequent-pattern feature of Section 6.2).
+  bool ContainsPattern(const std::vector<int>& pattern) const;
+};
+
+/// \brief A user's ground-truth profile in the simulator.
+struct UserProfile {
+  int32_t user_id = 0;
+  bool is_resident = false;
+  int16_t home_ap = 0;
+};
+
+}  // namespace osdp
+
+#endif  // OSDP_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,362 @@
+// Tests for src/common: Status/Result, Rng, distributions, stats.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/distributions.h"
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+
+namespace osdp {
+namespace {
+
+// ---------------------------------------------------------------- Status ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad epsilon");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad epsilon");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad epsilon");
+}
+
+TEST(StatusTest, AllNamedConstructorsSetTheirCode) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::BudgetExhausted("x").code(), StatusCode::kBudgetExhausted);
+  EXPECT_EQ(Status::PolicyViolation("x").code(), StatusCode::kPolicyViolation);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    OSDP_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------- Result ---
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto makes = []() -> Result<int> { return 7; };
+  auto wrapper = [&]() -> Result<int> {
+    OSDP_ASSIGN_OR_RETURN(int v, makes());
+    return v + 1;
+  };
+  EXPECT_EQ(*wrapper(), 8);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto fails = []() -> Result<int> { return Status::Internal("x"); };
+  auto wrapper = [&]() -> Result<int> {
+    OSDP_ASSIGN_OR_RETURN(int v, fails());
+    return v;
+  };
+  EXPECT_EQ(wrapper().status().code(), StatusCode::kInternal);
+}
+
+// ------------------------------------------------------------------- Rng ---
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next()) ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoublePositiveNeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDoublePositive();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRangeWithoutEscaping) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBounded(5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  EXPECT_FALSE(rng.NextBernoulli(-0.5));
+  EXPECT_TRUE(rng.NextBernoulli(1.5));
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(19);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  // Child continues differently from the parent.
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+// ----------------------------------------------------------- Laplace etc ---
+
+TEST(DistributionsTest, LaplaceMeanAndVariance) {
+  Rng rng(31);
+  const double b = 2.0;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(SampleLaplace(rng, b));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  // Var[Lap(b)] = 2b².
+  EXPECT_NEAR(stats.sample_variance(), 2 * b * b, 0.2);
+}
+
+TEST(DistributionsTest, LaplaceAbsMeanIsScale) {
+  Rng rng(37);
+  const double b = 3.0;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(std::abs(SampleLaplace(rng, b)));
+  EXPECT_NEAR(stats.mean(), b, 0.05);
+}
+
+TEST(DistributionsTest, ExponentialMeanIsScale) {
+  Rng rng(41);
+  const double b = 1.5;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(SampleExponential(rng, b));
+  EXPECT_NEAR(stats.mean(), b, 0.03);
+}
+
+TEST(DistributionsTest, OneSidedLaplaceIsNonPositive) {
+  Rng rng(43);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LE(SampleOneSidedLaplace(rng, 1.0), 0.0);
+  }
+}
+
+TEST(DistributionsTest, OneSidedLaplaceHasHalfLaplaceVariance) {
+  // Var[Lap⁻(b)] = b² = Var[Lap(b)] / 2 — the first factor-of-2 the paper
+  // cites in the 1/8-variance claim of Section 5.1.
+  Rng rng(47);
+  const double b = 1.0;
+  RunningStats stats;
+  for (int i = 0; i < 300000; ++i) stats.Add(SampleOneSidedLaplace(rng, b));
+  EXPECT_NEAR(stats.mean(), -b, 0.02);
+  EXPECT_NEAR(stats.sample_variance(), b * b, 0.05);
+}
+
+TEST(DistributionsTest, GaussianMoments) {
+  Rng rng(53);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(SampleGaussian(rng, 5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(stats.sample_variance()), 2.0, 0.05);
+}
+
+TEST(DistributionsTest, BinomialEdgeCases) {
+  Rng rng(59);
+  EXPECT_EQ(SampleBinomial(rng, 0, 0.5), 0);
+  EXPECT_EQ(SampleBinomial(rng, 100, 0.0), 0);
+  EXPECT_EQ(SampleBinomial(rng, 100, 1.0), 100);
+}
+
+TEST(DistributionsTest, BinomialSmallNMatchesMean) {
+  Rng rng(61);
+  const int64_t n = 20;
+  const double p = 0.35;
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(static_cast<double>(SampleBinomial(rng, n, p)));
+  }
+  EXPECT_NEAR(stats.mean(), n * p, 0.1);
+  EXPECT_NEAR(stats.sample_variance(), n * p * (1 - p), 0.2);
+}
+
+TEST(DistributionsTest, BinomialLargeNNormalApproxMatchesMoments) {
+  Rng rng(67);
+  const int64_t n = 1000000;
+  const double p = 0.25;
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t k = SampleBinomial(rng, n, p);
+    EXPECT_GE(k, 0);
+    EXPECT_LE(k, n);
+    stats.Add(static_cast<double>(k));
+  }
+  EXPECT_NEAR(stats.mean() / (n * p), 1.0, 0.001);
+  EXPECT_NEAR(stats.sample_variance() / (n * p * (1 - p)), 1.0, 0.05);
+}
+
+TEST(DistributionsTest, BinomialHighPUsesSymmetry) {
+  Rng rng(71);
+  const int64_t n = 50;
+  const double p = 0.9;
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(static_cast<double>(SampleBinomial(rng, n, p)));
+  }
+  EXPECT_NEAR(stats.mean(), n * p, 0.1);
+}
+
+TEST(DistributionsTest, GeometricMean) {
+  Rng rng(73);
+  const double p = 0.2;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.Add(static_cast<double>(SampleGeometric(rng, p)));
+  }
+  // E[Geom₀(p)] = (1-p)/p = 4.
+  EXPECT_NEAR(stats.mean(), (1 - p) / p, 0.1);
+}
+
+TEST(DistributionsTest, DiscreteSamplerRespectsWeights) {
+  Rng rng(79);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[SampleDiscrete(rng, w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(DistributionsTest, AliasSamplerMatchesWeights) {
+  Rng rng(83);
+  std::vector<double> w = {5.0, 1.0, 0.0, 4.0};
+  AliasSampler sampler(w);
+  EXPECT_EQ(sampler.size(), 4u);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[sampler.Sample(rng)]++;
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.4, 0.01);
+}
+
+TEST(DistributionsTest, AnalyticDensities) {
+  EXPECT_NEAR(LaplacePdf(0.0, 2.0), 0.25, 1e-12);
+  EXPECT_NEAR(LaplaceCdf(0.0, 2.0), 0.5, 1e-12);
+  EXPECT_NEAR(LaplaceCdf(-1e9, 2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LaplaceCdf(1e9, 2.0), 1.0, 1e-12);
+  EXPECT_EQ(OneSidedLaplacePdf(0.5, 1.0), 0.0);
+  EXPECT_NEAR(OneSidedLaplacePdf(0.0, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(OneSidedLaplaceCdf(0.0, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(OneSidedLaplaceCdf(OneSidedLaplaceMedian(1.0), 1.0), 0.5, 1e-12);
+}
+
+// DP core property of the noise: likelihood ratio between outputs from
+// neighboring inputs is bounded by e^(Δ/b) — verified analytically via PDFs.
+TEST(DistributionsTest, LaplaceLikelihoodRatioBound) {
+  const double b = 2.0;     // scale = sensitivity / epsilon
+  const double delta = 2.0; // histogram sensitivity
+  const double eps = delta / b;
+  for (double y = -10; y <= 10; y += 0.25) {
+    const double ratio = LaplacePdf(y - 0.0, b) / LaplacePdf(y - delta, b);
+    EXPECT_LE(ratio, std::exp(eps) + 1e-9);
+    EXPECT_GE(ratio, std::exp(-eps) - 1e-9);
+  }
+}
+
+// ----------------------------------------------------------------- Stats ---
+
+TEST(StatsTest, MeanVarianceStddev) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(Stddev(xs), std::sqrt(1.25));
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> xs = {4, 1, 3, 2};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 2.5);
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 95), 7.0);
+}
+
+TEST(StatsTest, Norms) {
+  std::vector<double> a = {1, -2, 3};
+  std::vector<double> b = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(L1Norm(a), 6.0);
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 6.0);
+  EXPECT_DOUBLE_EQ(LInfDistance(a, b), 3.0);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : xs) rs.Add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), Mean(xs), 1e-12);
+  EXPECT_NEAR(rs.population_variance(), Variance(xs), 1e-12);
+}
+
+}  // namespace
+}  // namespace osdp

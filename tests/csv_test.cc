@@ -1,0 +1,94 @@
+// Tests for CSV table/histogram import-export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/data/csv.h"
+
+namespace osdp {
+namespace {
+
+TEST(CsvTest, ReadsAndInfersTypes) {
+  const std::string csv =
+      "age,salary,name\n"
+      "15,1000.5,alice\n"
+      "40,0,bob\n";
+  Table t = *ReadCsvTable(csv);
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.schema().field(0).type, ValueType::kInt64);
+  EXPECT_EQ(t.schema().field(1).type, ValueType::kDouble);  // mixed → double
+  EXPECT_EQ(t.schema().field(2).type, ValueType::kString);
+  EXPECT_EQ(t.Int64Column(0)[0], 15);
+  EXPECT_DOUBLE_EQ(t.DoubleColumn(1)[0], 1000.5);
+  EXPECT_EQ(t.StringColumn(2)[1], "bob");
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  const std::string csv =
+      "name,notes\n"
+      "\"smith, john\",\"said \"\"hi\"\"\"\n";
+  Table t = *ReadCsvTable(csv);
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.StringColumn(0)[0], "smith, john");
+  EXPECT_EQ(t.StringColumn(1)[0], "said \"hi\"");
+}
+
+TEST(CsvTest, RoundTripsThroughWrite) {
+  Table t(Schema({{"a", ValueType::kInt64},
+                  {"b", ValueType::kDouble},
+                  {"c", ValueType::kString}}));
+  OSDP_CHECK(t.AppendRow({Value(1), Value(2.5), Value("x,y")}).ok());
+  OSDP_CHECK(t.AppendRow({Value(-7), Value(0.0), Value("plain")}).ok());
+  Table back = *ReadCsvTable(WriteCsvTable(t), t.schema());
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.Int64Column(0)[1], -7);
+  EXPECT_EQ(back.StringColumn(2)[0], "x,y");
+}
+
+TEST(CsvTest, ExplicitSchemaValidatesHeader) {
+  Schema schema({{"a", ValueType::kInt64}});
+  EXPECT_TRUE(ReadCsvTable("a\n1\n", schema).ok());
+  EXPECT_FALSE(ReadCsvTable("b\n1\n", schema).ok());
+  EXPECT_FALSE(ReadCsvTable("a,b\n1,2\n", schema).ok());
+  EXPECT_FALSE(ReadCsvTable("a\nnot_an_int\n", schema).ok());
+}
+
+TEST(CsvTest, MalformedInputsRejected) {
+  EXPECT_FALSE(ReadCsvTable("").ok());
+  EXPECT_FALSE(ReadCsvTable("h1,h2\n").ok());           // no data rows
+  EXPECT_FALSE(ReadCsvTable("a,b\n1\n").ok());          // ragged
+  EXPECT_FALSE(ReadCsvTable("a\n\"open\n").ok());       // unterminated quote
+  EXPECT_FALSE(ReadCsvTable("a\nx\"y\n").ok());         // quote mid-field
+}
+
+TEST(CsvTest, CrLfAndBlankLinesTolerated) {
+  Table t = *ReadCsvTable("a\r\n1\r\n\r\n2\r\n");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(CsvTest, HistogramRoundTrip) {
+  Histogram h({0, 5.5, 3, 0});
+  Histogram back = *ReadCsvHistogram(WriteCsvHistogram(h));
+  EXPECT_EQ(back.counts(), h.counts());
+}
+
+TEST(CsvTest, HistogramRejectsGaps) {
+  EXPECT_FALSE(ReadCsvHistogram("bin,count\n0,1\n2,1\n").ok());
+  EXPECT_FALSE(ReadCsvHistogram("bin,count\nx,1\n").ok());
+  EXPECT_FALSE(ReadCsvHistogram("bin\n0\n").ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = "/tmp/osdp_csv_test.csv";
+  ASSERT_TRUE(WriteStringToFile(path, "a\n42\n").ok());
+  Table t = *ReadCsvTable(*ReadFileToString(path));
+  EXPECT_EQ(t.Int64Column(0)[0], 42);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadFileToString("/nonexistent/osdp.csv").ok());
+  EXPECT_FALSE(WriteStringToFile("/nonexistent/dir/osdp.csv", "x").ok());
+}
+
+}  // namespace
+}  // namespace osdp

@@ -1,0 +1,204 @@
+// Tests for src/data: Value, Schema, Table, Predicate.
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+
+#include "src/data/predicate.h"
+#include "src/data/schema.h"
+#include "src/data/table.h"
+#include "src/data/value.h"
+
+namespace osdp {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"age", ValueType::kInt64},
+                 {"income", ValueType::kDouble},
+                 {"race", ValueType::kString},
+                 {"opt_in", ValueType::kInt64}});
+}
+
+Table TestTable() {
+  Table t(TestSchema());
+  OSDP_CHECK(t.AppendRow({Value(15), Value(0.0), Value("White"), Value(1)}).ok());
+  OSDP_CHECK(
+      t.AppendRow({Value(34), Value(52000.0), Value("Asian"), Value(1)}).ok());
+  OSDP_CHECK(t.AppendRow({Value(52), Value(78000.0), Value("NativeAmerican"),
+                          Value(0)})
+                 .ok());
+  OSDP_CHECK(
+      t.AppendRow({Value(28), Value(41000.0), Value("Black"), Value(0)}).ok());
+  return t;
+}
+
+// ----------------------------------------------------------------- Value ---
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value(7).is_int64());
+  EXPECT_TRUE(Value(int64_t{7}).is_int64());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_EQ(Value(7).AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(Value(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, AsNumericWidensInt) {
+  EXPECT_DOUBLE_EQ(Value(7).AsNumeric(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(2.25).AsNumeric(), 2.25);
+}
+
+TEST(ValueTest, EqualityAndToString) {
+  EXPECT_EQ(Value(7), Value(7));
+  EXPECT_NE(Value(7), Value(7.0));  // different dynamic types
+  EXPECT_EQ(Value("x").ToString(), "\"x\"");
+  EXPECT_EQ(Value(42).ToString(), "42");
+}
+
+// ---------------------------------------------------------------- Schema ---
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_fields(), 4u);
+  EXPECT_EQ(*s.FieldIndex("race"), 2u);
+  EXPECT_TRUE(s.HasField("age"));
+  EXPECT_FALSE(s.HasField("missing"));
+  EXPECT_EQ(s.FieldIndex("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  EXPECT_EQ(Schema({{"a", ValueType::kInt64}}).ToString(), "(a:int64)");
+}
+
+// ----------------------------------------------------------------- Table ---
+
+TEST(TableTest, AppendAndRead) {
+  Table t = TestTable();
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.num_columns(), 4u);
+  EXPECT_EQ(t.GetValue(2, 2).AsString(), "NativeAmerican");
+  EXPECT_EQ(t.GetValue(0, 0).AsInt64(), 15);
+}
+
+TEST(TableTest, AppendRowValidatesArity) {
+  Table t(TestSchema());
+  EXPECT_EQ(t.AppendRow({Value(1)}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, AppendRowValidatesTypes) {
+  Table t(TestSchema());
+  Status s = t.AppendRow({Value("nope"), Value(0.0), Value("x"), Value(1)});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, TypedColumnViews) {
+  Table t = TestTable();
+  EXPECT_EQ(t.Int64Column(0).size(), 4u);
+  EXPECT_EQ(t.Int64Column(0)[1], 34);
+  EXPECT_DOUBLE_EQ(t.DoubleColumn(1)[2], 78000.0);
+  EXPECT_EQ(t.StringColumn(2)[3], "Black");
+}
+
+TEST(TableTest, ColumnByNameChecksType) {
+  Table t = TestTable();
+  ASSERT_TRUE(t.Int64ColumnByName("age").ok());
+  EXPECT_EQ((*t.Int64ColumnByName("age"))->at(0), 15);
+  EXPECT_FALSE(t.Int64ColumnByName("income").ok());
+  EXPECT_FALSE(t.DoubleColumnByName("missing").ok());
+}
+
+TEST(TableTest, SelectRowsPreservesOrder) {
+  Table t = TestTable();
+  Table sel = t.SelectRows({3, 0});
+  EXPECT_EQ(sel.num_rows(), 2u);
+  EXPECT_EQ(sel.GetValue(0, 0).AsInt64(), 28);
+  EXPECT_EQ(sel.GetValue(1, 0).AsInt64(), 15);
+}
+
+TEST(TableTest, GetRowRoundTrips) {
+  Table t = TestTable();
+  Row row = t.GetRow(1);
+  EXPECT_EQ(row[0].AsInt64(), 34);
+  EXPECT_EQ(row[2].AsString(), "Asian");
+}
+
+// ------------------------------------------------------------- Predicate ---
+
+TEST(PredicateTest, ComparisonsOnInt) {
+  Table t = TestTable();
+  auto minors = Predicate::Le("age", Value(17));
+  EXPECT_TRUE(minors.Eval(t, 0));
+  EXPECT_FALSE(minors.Eval(t, 1));
+}
+
+TEST(PredicateTest, ComparisonsOnDouble) {
+  Table t = TestTable();
+  auto rich = Predicate::Gt("income", Value(50000.0));
+  EXPECT_FALSE(rich.Eval(t, 0));
+  EXPECT_TRUE(rich.Eval(t, 1));
+  EXPECT_TRUE(rich.Eval(t, 2));
+}
+
+TEST(PredicateTest, IntColumnComparesAgainstDoubleLiteral) {
+  Table t = TestTable();
+  auto p = Predicate::Ge("age", Value(28.0));
+  EXPECT_TRUE(p.Eval(t, 1));
+  EXPECT_FALSE(p.Eval(t, 0));
+}
+
+TEST(PredicateTest, StringEquality) {
+  Table t = TestTable();
+  auto p = Predicate::Eq("race", Value("NativeAmerican"));
+  EXPECT_TRUE(p.Eval(t, 2));
+  EXPECT_FALSE(p.Eval(t, 1));
+}
+
+TEST(PredicateTest, InOperator) {
+  Table t = TestTable();
+  auto p = Predicate::In("race", {Value("Asian"), Value("Black")});
+  EXPECT_FALSE(p.Eval(t, 0));
+  EXPECT_TRUE(p.Eval(t, 1));
+  EXPECT_TRUE(p.Eval(t, 3));
+}
+
+TEST(PredicateTest, PaperPolicyExample) {
+  // λr. if(r.Race = NativeAmerican ∨ r.Optin = False): 0 — i.e. sensitive.
+  Table t = TestTable();
+  auto sensitive = Predicate::Or(Predicate::Eq("race", Value("NativeAmerican")),
+                                 Predicate::Eq("opt_in", Value(0)));
+  EXPECT_FALSE(sensitive.Eval(t, 0));
+  EXPECT_FALSE(sensitive.Eval(t, 1));
+  EXPECT_TRUE(sensitive.Eval(t, 2));   // native american
+  EXPECT_TRUE(sensitive.Eval(t, 3));   // opted out
+}
+
+TEST(PredicateTest, LogicalOperators) {
+  Table t = TestTable();
+  auto p = Predicate::And(Predicate::Gt("age", Value(20)),
+                          Predicate::Not(Predicate::Eq("opt_in", Value(0))));
+  EXPECT_FALSE(p.Eval(t, 0));  // minor
+  EXPECT_TRUE(p.Eval(t, 1));
+  EXPECT_FALSE(p.Eval(t, 3));  // opted out
+}
+
+TEST(PredicateTest, ConstantsAndToString) {
+  Table t = TestTable();
+  EXPECT_TRUE(Predicate::True().Eval(t, 0));
+  EXPECT_FALSE(Predicate::False().Eval(t, 0));
+  const std::string s =
+      Predicate::Or(Predicate::Le("age", Value(17)), Predicate::False())
+          .ToString();
+  EXPECT_NE(s.find("age <= 17"), std::string::npos);
+}
+
+TEST(PredicateTest, EvalAgainstMaterializedRow) {
+  Schema schema = TestSchema();
+  Row row = {Value(16), Value(0.0), Value("White"), Value(1)};
+  EXPECT_TRUE(Predicate::Le("age", Value(17)).Eval(schema, row));
+  EXPECT_FALSE(Predicate::Gt("age", Value(17)).Eval(schema, row));
+}
+
+}  // namespace
+}  // namespace osdp

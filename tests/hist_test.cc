@@ -1,0 +1,261 @@
+// Tests for src/hist: Domain, Histogram, SparseHistogram, queries, workloads.
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+
+#include "src/common/random.h"
+#include "src/data/predicate.h"
+#include "src/hist/domain.h"
+#include "src/hist/histogram.h"
+#include "src/hist/histogram_query.h"
+#include "src/hist/sparse_histogram.h"
+#include "src/hist/workload.h"
+
+namespace osdp {
+namespace {
+
+// ---------------------------------------------------------------- Domain ---
+
+TEST(DomainTest, CategoricalBins) {
+  Domain1D d = Domain1D::Categorical(5);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_TRUE(d.is_categorical());
+  EXPECT_EQ(d.BinOfCategory(0), 0u);
+  EXPECT_EQ(d.BinOfCategory(4), 4u);
+}
+
+TEST(DomainTest, NumericBinning) {
+  Domain1D d = *Domain1D::Numeric(0.0, 10.0, 5);
+  EXPECT_EQ(d.BinOf(0.0), 0u);
+  EXPECT_EQ(d.BinOf(1.99), 0u);
+  EXPECT_EQ(d.BinOf(2.0), 1u);
+  EXPECT_EQ(d.BinOf(9.99), 4u);
+}
+
+TEST(DomainTest, NumericClampsOutOfRange) {
+  Domain1D d = *Domain1D::Numeric(0.0, 10.0, 5);
+  EXPECT_EQ(d.BinOf(-3.0), 0u);
+  EXPECT_EQ(d.BinOf(10.0), 4u);
+  EXPECT_EQ(d.BinOf(1e9), 4u);
+}
+
+TEST(DomainTest, NumericValidates) {
+  EXPECT_FALSE(Domain1D::Numeric(5.0, 5.0, 3).ok());
+  EXPECT_FALSE(Domain1D::Numeric(0.0, 1.0, 0).ok());
+}
+
+TEST(DomainTest, BinBounds) {
+  Domain1D d = *Domain1D::Numeric(0.0, 10.0, 5);
+  auto [lo, hi] = d.BinBounds(1);
+  EXPECT_DOUBLE_EQ(lo, 2.0);
+  EXPECT_DOUBLE_EQ(hi, 4.0);
+}
+
+TEST(DomainProductTest, FlattenRoundTrips) {
+  DomainProduct prod({Domain1D::Categorical(4), Domain1D::Categorical(6)});
+  EXPECT_EQ(prod.size(), 24u);
+  for (size_t cell = 0; cell < prod.size(); ++cell) {
+    EXPECT_EQ(prod.Flatten(prod.Unflatten(cell)), cell);
+  }
+  EXPECT_EQ(prod.Flatten({1, 2}), 8u);  // row-major: 1*6 + 2
+}
+
+// ------------------------------------------------------------- Histogram ---
+
+TEST(HistogramTest, BasicCountsAndTotal) {
+  Histogram h(4);
+  h.Add(0);
+  h.Add(0);
+  h.Add(3, 2.5);
+  EXPECT_DOUBLE_EQ(h[0], 2.0);
+  EXPECT_DOUBLE_EQ(h[3], 2.5);
+  EXPECT_DOUBLE_EQ(h.Total(), 4.5);
+}
+
+TEST(HistogramTest, SparsityAndZeroBins) {
+  Histogram h({0, 2, 0, 0});
+  EXPECT_EQ(h.ZeroBins(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sparsity(), 0.75);
+}
+
+TEST(HistogramTest, Arithmetic) {
+  Histogram a({1, 2, 3});
+  Histogram b({0, 1, 5});
+  Histogram sum = a + b;
+  Histogram diff = a - b;
+  EXPECT_DOUBLE_EQ(sum[2], 8.0);
+  EXPECT_DOUBLE_EQ(diff[2], -2.0);
+}
+
+TEST(HistogramTest, Domination) {
+  Histogram x({5, 3, 2});
+  Histogram xns({4, 3, 0});
+  EXPECT_TRUE(xns.DominatedBy(x));
+  EXPECT_FALSE(x.DominatedBy(xns));
+}
+
+TEST(HistogramTest, ClampNonNegative) {
+  Histogram h({-1.5, 2.0, -0.1});
+  h.ClampNonNegative();
+  EXPECT_DOUBLE_EQ(h[0], 0.0);
+  EXPECT_DOUBLE_EQ(h[1], 2.0);
+  EXPECT_DOUBLE_EQ(h[2], 0.0);
+}
+
+TEST(HistogramTest, RangeSumAndValidate) {
+  Histogram h({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(h.RangeSum(1, 2), 5.0);
+  EXPECT_TRUE(h.ValidateNonNegative().ok());
+  Histogram bad({1, -2});
+  EXPECT_FALSE(bad.ValidateNonNegative().ok());
+}
+
+TEST(HistogramTest, MeanAndStddevOfCounts) {
+  Histogram h({2, 4, 6, 8});
+  EXPECT_DOUBLE_EQ(h.MeanCount(), 5.0);
+  EXPECT_NEAR(h.StddevCount(), 2.23606797749979, 1e-9);
+}
+
+TEST(Histogram2DTest, IndexingMatchesFlat) {
+  Histogram2D h(3, 4);
+  h.Add(1, 2, 5.0);
+  h.Add(2, 3);
+  EXPECT_DOUBLE_EQ(h.At(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(h.flat()[1 * 4 + 2], 5.0);
+  EXPECT_DOUBLE_EQ(h.At(2, 3), 1.0);
+}
+
+// ------------------------------------------------------ SparseHistogram ----
+
+TEST(SparseHistogramTest, GetSetAdd) {
+  SparseHistogram h(1e12);
+  EXPECT_DOUBLE_EQ(h.Get(42), 0.0);
+  h.Add(42, 2.0);
+  h.Add(42);
+  EXPECT_DOUBLE_EQ(h.Get(42), 3.0);
+  EXPECT_EQ(h.num_materialized(), 1u);
+  EXPECT_DOUBLE_EQ(h.Total(), 3.0);
+}
+
+TEST(SparseHistogramTest, DropZeros) {
+  SparseHistogram h(100);
+  h.Set(1, 0.0);
+  h.Set(2, 5.0);
+  EXPECT_EQ(h.num_materialized(), 2u);
+  h.DropZeros();
+  EXPECT_EQ(h.num_materialized(), 1u);
+}
+
+TEST(NGramEncodingTest, RoundTrips) {
+  const std::vector<int> gram = {3, 0, 63, 17};
+  const uint64_t cell = EncodeNGram(gram, 64);
+  EXPECT_EQ(DecodeNGram(cell, 64, 4), gram);
+}
+
+TEST(NGramEncodingTest, DistinctGramsGetDistinctCells) {
+  EXPECT_NE(EncodeNGram({1, 2}, 64), EncodeNGram({2, 1}, 64));
+  EXPECT_NE(EncodeNGram({0, 1}, 64), EncodeNGram({1, 0}, 64));
+}
+
+// -------------------------------------------------------- HistogramQuery ---
+
+Table AgeTable() {
+  Table t(Schema({{"age", ValueType::kInt64}, {"city", ValueType::kString}}));
+  for (int64_t age : {12, 25, 37, 37, 64, 99}) {
+    OSDP_CHECK(t.AppendRow({Value(age), Value(age < 30 ? "A" : "B")}).ok());
+  }
+  return t;
+}
+
+TEST(HistogramQueryTest, GroupByBinnedAge) {
+  Table t = AgeTable();
+  HistogramQuery q{"age", *Domain1D::Numeric(0, 100, 4), std::nullopt};
+  Histogram h = *ComputeHistogram(t, q);
+  // Bins: [0,25) [25,50) [50,75) [75,100).
+  EXPECT_DOUBLE_EQ(h[0], 1.0);
+  EXPECT_DOUBLE_EQ(h[1], 3.0);
+  EXPECT_DOUBLE_EQ(h[2], 1.0);
+  EXPECT_DOUBLE_EQ(h[3], 1.0);
+}
+
+TEST(HistogramQueryTest, WhereConditionFilters) {
+  Table t = AgeTable();
+  HistogramQuery q{"age", *Domain1D::Numeric(0, 100, 4),
+                   Predicate::Eq("city", Value("B"))};
+  Histogram h = *ComputeHistogram(t, q);
+  EXPECT_DOUBLE_EQ(h.Total(), 4.0);
+  EXPECT_DOUBLE_EQ(h[0], 0.0);
+}
+
+TEST(HistogramQueryTest, MaskSelectsRows) {
+  Table t = AgeTable();
+  HistogramQuery q{"age", *Domain1D::Numeric(0, 100, 4), std::nullopt};
+  std::vector<bool> mask = {true, false, true, false, true, false};
+  Histogram h = *ComputeHistogramMasked(t, q, mask);
+  EXPECT_DOUBLE_EQ(h.Total(), 3.0);
+}
+
+TEST(HistogramQueryTest, MaskSizeValidated) {
+  Table t = AgeTable();
+  HistogramQuery q{"age", *Domain1D::Numeric(0, 100, 4), std::nullopt};
+  EXPECT_FALSE(ComputeHistogramMasked(t, q, {true}).ok());
+}
+
+TEST(HistogramQueryTest, CategoricalOverInt) {
+  Table t(Schema({{"ap", ValueType::kInt64}}));
+  for (int64_t ap : {0, 1, 1, 2}) OSDP_CHECK(t.AppendRow({Value(ap)}).ok());
+  HistogramQuery q{"ap", Domain1D::Categorical(4), std::nullopt};
+  Histogram h = *ComputeHistogram(t, q);
+  EXPECT_DOUBLE_EQ(h[1], 2.0);
+  EXPECT_DOUBLE_EQ(h[3], 0.0);  // zero groups reported too
+}
+
+TEST(HistogramQueryTest, StringColumnRejected) {
+  Table t = AgeTable();
+  HistogramQuery q{"city", Domain1D::Categorical(2), std::nullopt};
+  EXPECT_FALSE(ComputeHistogram(t, q).ok());
+}
+
+TEST(HistogramQuery2DTest, TwoDimensionalCounts) {
+  Table t(Schema({{"ap", ValueType::kInt64}, {"hour", ValueType::kInt64}}));
+  OSDP_CHECK(t.AppendRow({Value(0), Value(9)}).ok());
+  OSDP_CHECK(t.AppendRow({Value(0), Value(9)}).ok());
+  OSDP_CHECK(t.AppendRow({Value(1), Value(13)}).ok());
+  HistogramQuery2D q{"ap", Domain1D::Categorical(2),
+                     "hour", Domain1D::Categorical(24), std::nullopt};
+  Histogram2D h = *ComputeHistogram2D(t, q);
+  EXPECT_DOUBLE_EQ(h.At(0, 9), 2.0);
+  EXPECT_DOUBLE_EQ(h.At(1, 13), 1.0);
+  EXPECT_DOUBLE_EQ(h.flat().Total(), 3.0);
+}
+
+// --------------------------------------------------------------- Workload --
+
+TEST(WorkloadTest, IdentityAndPrefix) {
+  Histogram h({1, 2, 3, 4});
+  Workload ident = Workload::Identity(4);
+  EXPECT_EQ(ident.Evaluate(h), (std::vector<double>{1, 2, 3, 4}));
+  Workload pre = Workload::Prefixes(4);
+  EXPECT_EQ(pre.Evaluate(h), (std::vector<double>{1, 3, 6, 10}));
+}
+
+TEST(WorkloadTest, RandomRangesStayInBounds) {
+  Rng rng(5);
+  Workload w = Workload::RandomRanges(16, 100, rng);
+  EXPECT_EQ(w.size(), 100u);
+  for (const RangeQuery& q : w.queries()) {
+    EXPECT_LE(q.lo, q.hi);
+    EXPECT_LT(q.hi, 16u);
+  }
+}
+
+TEST(WorkloadTest, AverageAbsoluteError) {
+  Histogram truth({1, 2, 3, 4});
+  Histogram est({1, 2, 3, 8});
+  Workload ident = Workload::Identity(4);
+  EXPECT_DOUBLE_EQ(ident.AverageAbsoluteError(truth, est), 1.0);
+}
+
+}  // namespace
+}  // namespace osdp

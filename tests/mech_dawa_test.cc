@@ -1,0 +1,259 @@
+// Tests for DAWA, DAWAz (Algorithm 3), and the uniform mechanism suite.
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+
+#include <cmath>
+
+#include "src/eval/metrics.h"
+#include "src/mech/dawa.h"
+#include "src/mech/dawaz.h"
+#include "src/mech/histogram_mechanism.h"
+#include "src/mech/laplace.h"
+
+namespace osdp {
+namespace {
+
+// Checks that buckets tile [0, d) contiguously without gaps or overlaps.
+void ExpectValidPartition(const std::vector<DawaBucket>& buckets, size_t d) {
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_EQ(buckets.front().begin, 0u);
+  EXPECT_EQ(buckets.back().end, d);
+  for (size_t i = 0; i + 1 < buckets.size(); ++i) {
+    EXPECT_EQ(buckets[i].end, buckets[i + 1].begin);
+    EXPECT_LT(buckets[i].begin, buckets[i].end);
+  }
+}
+
+// ---------------------------------------------------- OptimalL1Partition ---
+
+TEST(DawaPartitionTest, UniformDataMergesIntoOneBucket) {
+  std::vector<double> x(64, 10.0);
+  auto buckets = OptimalL1Partition(x, /*bucket_charge=*/1.0,
+                                    DawaPositions::kEvery);
+  ExpectValidPartition(buckets, 64);
+  EXPECT_EQ(buckets.size(), 1u);
+}
+
+TEST(DawaPartitionTest, SpikyDataStaysFine) {
+  // Large per-bin differences make merging expensive relative to the charge.
+  std::vector<double> x(16);
+  for (size_t i = 0; i < x.size(); ++i) x[i] = (i % 2 == 0) ? 0.0 : 1000.0;
+  auto buckets =
+      OptimalL1Partition(x, /*bucket_charge=*/1.0, DawaPositions::kEvery);
+  ExpectValidPartition(buckets, 16);
+  EXPECT_EQ(buckets.size(), 16u);
+}
+
+TEST(DawaPartitionTest, PiecewiseConstantFindsTheBreak) {
+  std::vector<double> x(32, 5.0);
+  for (size_t i = 16; i < 32; ++i) x[i] = 50.0;
+  auto buckets =
+      OptimalL1Partition(x, /*bucket_charge=*/2.0, DawaPositions::kEvery);
+  ExpectValidPartition(buckets, 32);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].end, 16u);
+}
+
+TEST(DawaPartitionTest, HalfOverlapModeStillTiles) {
+  std::vector<double> x(48, 1.0);
+  x[13] = 400.0;
+  auto buckets =
+      OptimalL1Partition(x, 1.0, DawaPositions::kHalfOverlap);
+  ExpectValidPartition(buckets, 48);
+}
+
+TEST(DawaPartitionTest, HugeChargeForcesSingleBucketEvenWhenSpiky) {
+  std::vector<double> x(16);
+  for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  auto buckets = OptimalL1Partition(x, 1e9, DawaPositions::kEvery);
+  EXPECT_EQ(buckets.size(), 1u);
+}
+
+// ------------------------------------------------------------------ DAWA ---
+
+TEST(DawaTest, OutputShapeAndPartitionValid) {
+  Histogram x(std::vector<double>(128, 3.0));
+  Rng rng(1);
+  DawaResult r = *Dawa(x, 1.0, rng);
+  EXPECT_EQ(r.estimate.size(), 128u);
+  ExpectValidPartition(r.partition, 128);
+}
+
+TEST(DawaTest, SmoothDataBeatsLaplace) {
+  // A sorted/smooth histogram (Nettrace-like) is DAWA's best case.
+  std::vector<double> counts(1024);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = 5000.0 / (1.0 + static_cast<double>(i));
+  }
+  Histogram x(counts);
+  Rng rng(2);
+  double dawa_err = 0.0, lap_err = 0.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    dawa_err += L1Error(x, Dawa(x, 0.1, rng)->estimate);
+    lap_err += L1Error(x, *LaplaceMechanism(x, 0.1, rng));
+  }
+  EXPECT_LT(dawa_err, lap_err);
+}
+
+TEST(DawaTest, ValidatesArguments) {
+  Histogram x({1, 2});
+  Rng rng(3);
+  EXPECT_FALSE(Dawa(x, 0.0, rng).ok());
+  DawaOptions opts;
+  opts.partition_budget_ratio = 1.5;
+  EXPECT_FALSE(Dawa(x, 1.0, opts, rng).ok());
+  opts.partition_budget_ratio = 0.0;
+  EXPECT_FALSE(Dawa(x, 1.0, opts, rng).ok());
+}
+
+TEST(DawaTest, ClampOptionControlsNegatives) {
+  Histogram x(std::vector<double>(32, 0.0));
+  DawaOptions opts;
+  opts.clamp_non_negative = true;
+  Rng rng(4);
+  for (int rep = 0; rep < 50; ++rep) {
+    DawaResult r = *Dawa(x, 0.5, opts, rng);
+    for (size_t i = 0; i < r.estimate.size(); ++i) {
+      EXPECT_GE(r.estimate[i], 0.0);
+    }
+  }
+}
+
+TEST(DawaTest, EstimateIsConstantWithinBuckets) {
+  Histogram x(std::vector<double>(64, 7.0));
+  Rng rng(5);
+  DawaResult r = *Dawa(x, 1.0, rng);
+  for (const DawaBucket& b : r.partition) {
+    for (size_t i = b.begin + 1; i < b.end; ++i) {
+      EXPECT_DOUBLE_EQ(r.estimate[i], r.estimate[b.begin]);
+    }
+  }
+}
+
+TEST(DawaTest, GuaranteeIsDp) {
+  PrivacyGuarantee g = DawaGuarantee(0.4);
+  EXPECT_EQ(g.model, PrivacyModel::kDP);
+  EXPECT_DOUBLE_EQ(g.exclusion_attack_phi, 0.4);
+}
+
+// ----------------------------------------------------------------- DAWAz ---
+
+Histogram SparseTruth(size_t d) {
+  Histogram x(d);
+  for (size_t i = 0; i < d; i += 16) x[i] = 500.0;
+  return x;
+}
+
+TEST(DawazTest, ValidatesInputs) {
+  Rng rng(6);
+  Histogram x({5, 5});
+  EXPECT_FALSE(Dawaz(x, Histogram(std::vector<double>{1.0}), 1.0, rng).ok());          // size
+  EXPECT_FALSE(Dawaz(x, Histogram({6, 0}), 1.0, rng).ok());         // dominance
+  EXPECT_FALSE(Dawaz(x, Histogram({1, 1}), 0.0, rng).ok());         // epsilon
+  DawazOptions opts;
+  opts.zero_budget_ratio = 1.0;
+  EXPECT_FALSE(Dawaz(x, Histogram({1, 1}), 1.0, opts, rng).ok());   // rho
+}
+
+TEST(DawazTest, DetectedZerosAreZeroInOutput) {
+  // With xns == x (all records non-sensitive) and large ε, the OsdpRR zero
+  // detector sees every truly-empty bin as empty — those must output 0.
+  Histogram x = SparseTruth(128);
+  Rng rng(7);
+  DawazOptions opts;
+  opts.zero_budget_ratio = 0.5;  // high detector budget for the test
+  for (int rep = 0; rep < 20; ++rep) {
+    Histogram out = *Dawaz(x, x, 8.0, opts, rng);
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (x[i] == 0.0) { EXPECT_DOUBLE_EQ(out[i], 0.0); }
+    }
+  }
+}
+
+TEST(DawazTest, BeatsDawaOnSparseDataWithManyNonSensitive) {
+  // The headline effect (Figure 9): zero detection wins on sparse data when
+  // nearly everything is non-sensitive.
+  Histogram x = SparseTruth(512);
+  Histogram xns = x;  // 99%+ non-sensitive regime
+  Rng rng(8);
+  double dawaz_err = 0.0, dawa_err = 0.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    dawaz_err += MeanRelativeError(x, *Dawaz(x, xns, 0.5, rng));
+    dawa_err += MeanRelativeError(x, Dawa(x, 0.5, rng)->estimate);
+  }
+  EXPECT_LT(dawaz_err, dawa_err);
+}
+
+TEST(DawazTest, LaplaceL1DetectorAlsoWorks) {
+  Histogram x = SparseTruth(64);
+  Rng rng(9);
+  DawazOptions opts;
+  opts.detector = DawazZeroDetector::kOsdpLaplaceL1;
+  Histogram out = *Dawaz(x, x, 1.0, opts, rng);
+  EXPECT_EQ(out.size(), x.size());
+}
+
+TEST(DawazTest, MassReallocationPreservesBucketTotals) {
+  // Zeroing bins inside a bucket must not change the bucket's total mass
+  // (as long as at least one bin survives).
+  Histogram x(std::vector<double>(32, 10.0));
+  x[3] = 0.0;
+  Rng rng(10);
+  // Force deterministic single-bucket behaviour by using a uniform x and a
+  // huge ε (negligible noise).
+  DawazOptions opts;
+  opts.zero_budget_ratio = 0.5;
+  Histogram out = *Dawaz(x, x, 100.0, opts, rng);
+  EXPECT_NEAR(out.Total(), x.Total(), 1.0);
+}
+
+// ------------------------------------------------------ mechanism suite ----
+
+TEST(HistogramMechanismTest, StandardSuiteHasPaperSixAlgorithms) {
+  auto suite = StandardSuite();
+  ASSERT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0]->name(), "Laplace");
+  EXPECT_EQ(suite[1]->name(), "DAWA");
+  EXPECT_EQ(suite[2]->name(), "OsdpRR");
+  EXPECT_EQ(suite[3]->name(), "OsdpLaplace");
+  EXPECT_EQ(suite[4]->name(), "OsdpLaplaceL1");
+  EXPECT_EQ(suite[5]->name(), "DAWAz");
+}
+
+TEST(HistogramMechanismTest, GuaranteeModels) {
+  EXPECT_EQ(MakeLaplaceMechanism()->Guarantee(1.0).model, PrivacyModel::kDP);
+  EXPECT_EQ(MakeDawaMechanism()->Guarantee(1.0).model, PrivacyModel::kDP);
+  EXPECT_EQ(MakeOsdpRRMechanism()->Guarantee(1.0).model, PrivacyModel::kOSDP);
+  EXPECT_EQ(MakeOsdpLaplaceMechanism()->Guarantee(1.0).model,
+            PrivacyModel::kOSDP);
+  EXPECT_EQ(MakeOsdpLaplaceL1Mechanism()->Guarantee(1.0).model,
+            PrivacyModel::kOSDP);
+  EXPECT_EQ(MakeDawazMechanism()->Guarantee(1.0).model, PrivacyModel::kOSDP);
+  EXPECT_EQ(MakeSuppressMechanism(10.0)->Guarantee(1.0).model,
+            PrivacyModel::kPDP);
+  EXPECT_EQ(MakeDawaNsMechanism()->Guarantee(1.0).model, PrivacyModel::kOSDP);
+}
+
+TEST(HistogramMechanismTest, EveryMechanismRunsOnSharedInput) {
+  Histogram x(std::vector<double>(64, 5.0));
+  Histogram xns(std::vector<double>(64, 3.0));
+  auto suite = StandardSuite();
+  suite.push_back(MakeSuppressMechanism(10.0));
+  suite.push_back(MakeDawaNsMechanism());
+  Rng rng(11);
+  for (const auto& mech : suite) {
+    auto result = mech->Run(x, xns, 1.0, rng);
+    ASSERT_TRUE(result.ok()) << mech->name() << ": " << result.status();
+    EXPECT_EQ(result->size(), 64u) << mech->name();
+  }
+}
+
+TEST(HistogramMechanismTest, SuppressNameEncodesTau) {
+  EXPECT_EQ(MakeSuppressMechanism(10.0)->name(), "Suppress10");
+  EXPECT_EQ(MakeSuppressMechanism(100.0)->name(), "Suppress100");
+}
+
+}  // namespace
+}  // namespace osdp

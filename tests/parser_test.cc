@@ -1,0 +1,133 @@
+// Tests for the policy-language parser.
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/policy/parser.h"
+
+namespace osdp {
+namespace {
+
+Table TestTable() {
+  Table t(Schema({{"age", ValueType::kInt64},
+                  {"salary", ValueType::kDouble},
+                  {"race", ValueType::kString},
+                  {"opt_in", ValueType::kInt64}}));
+  OSDP_CHECK(t.AppendRow({Value(15), Value(0.0), Value("White"), Value(1)}).ok());
+  OSDP_CHECK(
+      t.AppendRow({Value(40), Value(120000.0), Value("Asian"), Value(1)}).ok());
+  OSDP_CHECK(t.AppendRow({Value(52), Value(80000.0), Value("NativeAmerican"),
+                          Value(0)})
+                 .ok());
+  return t;
+}
+
+TEST(ParserTest, SimpleComparisons) {
+  Table t = TestTable();
+  EXPECT_TRUE(ParsePredicate("age <= 17")->Eval(t, 0));
+  EXPECT_FALSE(ParsePredicate("age <= 17")->Eval(t, 1));
+  EXPECT_TRUE(ParsePredicate("salary > 100000")->Eval(t, 1));
+  EXPECT_TRUE(ParsePredicate("age != 40")->Eval(t, 0));
+  EXPECT_TRUE(ParsePredicate("age = 52")->Eval(t, 2));
+  EXPECT_TRUE(ParsePredicate("age >= 52")->Eval(t, 2));
+  EXPECT_TRUE(ParsePredicate("age < 16")->Eval(t, 0));
+}
+
+TEST(ParserTest, StringLiteralsBothQuoteStyles) {
+  Table t = TestTable();
+  EXPECT_TRUE(ParsePredicate("race = 'NativeAmerican'")->Eval(t, 2));
+  EXPECT_TRUE(ParsePredicate("race = \"Asian\"")->Eval(t, 1));
+}
+
+TEST(ParserTest, PaperPolicyExpressions) {
+  // The two policy examples from Section 3.1, verbatim in the DSL.
+  Table t = TestTable();
+  Policy minors = *ParsePolicy("age <= 17");
+  EXPECT_TRUE(minors.IsSensitive(t, 0));
+  EXPECT_FALSE(minors.IsSensitive(t, 1));
+
+  Policy mixed = *ParsePolicy("race = 'NativeAmerican' OR opt_in = 0");
+  EXPECT_FALSE(mixed.IsSensitive(t, 0));
+  EXPECT_FALSE(mixed.IsSensitive(t, 1));
+  EXPECT_TRUE(mixed.IsSensitive(t, 2));
+}
+
+TEST(ParserTest, PrecedenceAndParentheses) {
+  Table t = TestTable();
+  // AND binds tighter than OR.
+  auto p = *ParsePredicate("age <= 17 OR age >= 50 AND opt_in = 0");
+  EXPECT_TRUE(p.Eval(t, 0));   // minor
+  EXPECT_TRUE(p.Eval(t, 2));   // 52 and opted out
+  EXPECT_FALSE(p.Eval(t, 1));
+  // Parentheses override.
+  auto q = *ParsePredicate("(age <= 17 OR age >= 50) AND opt_in = 0");
+  EXPECT_FALSE(q.Eval(t, 0));  // minor but opted in
+  EXPECT_TRUE(q.Eval(t, 2));
+}
+
+TEST(ParserTest, NotAndConstants) {
+  Table t = TestTable();
+  EXPECT_TRUE(ParsePredicate("NOT age <= 17")->Eval(t, 1));
+  EXPECT_TRUE(ParsePredicate("TRUE")->Eval(t, 0));
+  EXPECT_FALSE(ParsePredicate("FALSE")->Eval(t, 0));
+  EXPECT_TRUE(ParsePredicate("NOT FALSE")->Eval(t, 0));
+}
+
+TEST(ParserTest, InLists) {
+  Table t = TestTable();
+  auto p = *ParsePredicate("race IN ('Asian', 'Black')");
+  EXPECT_FALSE(p.Eval(t, 0));
+  EXPECT_TRUE(p.Eval(t, 1));
+  auto nums = *ParsePredicate("age IN (15, 52)");
+  EXPECT_TRUE(nums.Eval(t, 0));
+  EXPECT_FALSE(nums.Eval(t, 1));
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  Table t = TestTable();
+  EXPECT_TRUE(ParsePredicate("age <= 17 or age >= 50")->Eval(t, 2));
+  EXPECT_TRUE(ParsePredicate("not (age = 40)")->Eval(t, 0));
+  EXPECT_TRUE(ParsePredicate("age in (15)")->Eval(t, 0));
+}
+
+TEST(ParserTest, FloatsAndNegativeNumbers) {
+  Table t = TestTable();
+  EXPECT_TRUE(ParsePredicate("salary >= 0.5")->Eval(t, 1));
+  EXPECT_TRUE(ParsePredicate("salary > -1")->Eval(t, 0));
+}
+
+TEST(ParserTest, ErrorsCarryPositions) {
+  EXPECT_FALSE(ParsePredicate("").ok());
+  EXPECT_FALSE(ParsePredicate("age <=").ok());
+  EXPECT_FALSE(ParsePredicate("age <= 17 extra").ok());
+  EXPECT_FALSE(ParsePredicate("(age <= 17").ok());
+  EXPECT_FALSE(ParsePredicate("age IN 17").ok());
+  EXPECT_FALSE(ParsePredicate("age IN (17").ok());
+  EXPECT_FALSE(ParsePredicate("'unterminated").ok());
+  EXPECT_FALSE(ParsePredicate("age # 17").ok());
+  EXPECT_FALSE(ParsePredicate("17 <= age").ok());
+  const Status s = ParsePredicate("age <= 17 extra").status();
+  EXPECT_NE(s.message().find("position"), std::string::npos);
+}
+
+TEST(ParserTest, PolicyNameDefaultsToExpression) {
+  Policy p = *ParsePolicy("age <= 17");
+  EXPECT_NE(p.name().find("age <= 17"), std::string::npos);
+  Policy named = *ParsePolicy("age <= 17", "P_minors");
+  EXPECT_EQ(named.name(), "P_minors");
+}
+
+TEST(ParserTest, RoundTripThroughPredicateToString) {
+  // The rendered form of a parsed predicate parses again to an equivalent
+  // predicate (checked by evaluation).
+  Table t = TestTable();
+  const std::string text = "(age <= 17 OR race = 'Asian') AND NOT opt_in = 0";
+  Predicate original = *ParsePredicate(text);
+  Predicate reparsed = *ParsePredicate(original.ToString());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(original.Eval(t, r), reparsed.Eval(t, r)) << r;
+  }
+}
+
+}  // namespace
+}  // namespace osdp
