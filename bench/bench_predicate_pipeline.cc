@@ -1,0 +1,272 @@
+// Micro-benchmark of the compiled predicate pipeline: rows/sec for row-mask
+// construction, policy-masked filtered counts, and masked histograms, for
+// three evaluation paths across row counts and predicate shapes.
+//
+//   boxed      GetRow() + Predicate::Eval(schema, row): materializes every
+//              cell as a dynamic Value (string copies included) — the seed
+//              repo's slow path.
+//   reference  Predicate::Eval(table, row): row-at-a-time over the columnar
+//              storage, no boxing, but per-row name resolution and tree
+//              dispatch. This is the semantics oracle the property test
+//              checks the compiled path against.
+//   compiled   CompiledPredicate::EvalMask: bound once against the schema,
+//              evaluated column-at-a-time into a packed RowMask.
+//
+// Knobs: OSDP_BENCH_MAX_ROWS caps the row grid (default 10M; set 100000 for
+// a CI smoke run), OSDP_BENCH_JSON sets the output path (default
+// BENCH_predicate_pipeline.json in the working directory).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/benchdata/table_gen.h"
+#include "src/data/compiled_predicate.h"
+#include "src/data/predicate.h"
+#include "src/data/row_mask.h"
+#include "src/eval/table_printer.h"
+#include "src/hist/histogram_query.h"
+#include "src/policy/policy.h"
+
+using namespace osdp;
+
+namespace {
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Shape {
+  const char* name;
+  int leaves;
+  Predicate pred;
+};
+
+std::vector<Shape> MakeShapes() {
+  return {
+      {"num1", 1, Predicate::Le("age", Value(40))},
+      {"mixed3", 3,
+       Predicate::And(Predicate::Or(Predicate::Eq("race", Value("C3")),
+                                    Predicate::Eq("opt_in", Value(0))),
+                      Predicate::Le("age", Value(40)))},
+      {"in5", 5,
+       Predicate::And(
+           Predicate::And(
+               Predicate::In("race", {Value("C1"), Value("C2"), Value("C5")}),
+               Predicate::Gt("income", Value(30000.0))),
+           Predicate::Not(Predicate::Lt("zip", Value(2000))))},
+  };
+}
+
+struct Measurement {
+  std::string shape;
+  size_t rows;
+  std::string op;    // mask | count | hist
+  std::string path;  // boxed | reference | compiled
+  double sec_per_iter;
+  double rows_per_sec;
+};
+
+// Runs fn `reps` times after one warmup; returns best-of seconds per call.
+template <typename Fn>
+double TimeBest(int reps, const Fn& fn) {
+  fn();  // warmup
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const double t0 = NowSec();
+    fn();
+    best = std::min(best, NowSec() - t0);
+  }
+  return best;
+}
+
+int RepsFor(size_t rows) {
+  if (rows >= 10000000) return 2;
+  if (rows >= 1000000) return 3;
+  if (rows >= 100000) return 7;
+  return 30;
+}
+
+}  // namespace
+
+int main() {
+  const char* max_rows_env = std::getenv("OSDP_BENCH_MAX_ROWS");
+  const size_t max_rows =
+      max_rows_env ? static_cast<size_t>(std::atoll(max_rows_env)) : 10000000;
+  std::vector<size_t> row_grid;
+  for (size_t rows : {size_t{10000}, size_t{100000}, size_t{1000000},
+                      size_t{10000000}}) {
+    if (rows <= max_rows) row_grid.push_back(rows);
+  }
+  if (row_grid.empty()) row_grid.push_back(max_rows);
+
+  // The policy behind the engine-style masked ops (ComputeHistogramMasked's
+  // x_ns mask, AnswerCount's non-sensitive restriction).
+  Policy policy = Policy::SensitiveWhen(
+      Predicate::Or(Predicate::Eq("opt_in", Value(0)),
+                    Predicate::Lt("age", Value(18))),
+      "bench_policy");
+  const Domain1D age_domain = *Domain1D::Numeric(0, 100, 64);
+
+  std::vector<Measurement> results;
+  volatile size_t sink = 0;  // defeats dead-code elimination
+
+  std::printf("=== compiled predicate pipeline: rows/sec by path ===\n");
+  std::printf("(best of N; 1-thread; row grid capped at %zu)\n\n", max_rows);
+
+  for (size_t rows : row_grid) {
+    CensusTableOptions topts;
+    topts.num_rows = rows;
+    topts.seed = 0x05D9 + rows;
+    const Table table = MakeCensusTable(topts);
+    const Schema& schema = table.schema();
+    const int reps = RepsFor(rows);
+    const RowMask ns_mask = policy.NonSensitiveRowMask(table);
+    const std::vector<bool> ns_bools = ns_mask.ToBools();
+
+    for (const Shape& shape : MakeShapes()) {
+      const Predicate& pred = shape.pred;
+      const CompiledPredicate compiled =
+          *CompiledPredicate::Compile(pred, schema);
+
+      auto record = [&](const char* op, const char* path, double sec) {
+        results.push_back({shape.name, rows, op, path, sec,
+                           static_cast<double>(rows) / sec});
+      };
+
+      // --- mask construction -------------------------------------------
+      record("mask", "boxed", TimeBest(reps, [&] {
+               std::vector<bool> mask(table.num_rows());
+               for (size_t r = 0; r < table.num_rows(); ++r) {
+                 mask[r] = pred.Eval(schema, table.GetRow(r));
+               }
+               sink += mask.size();
+             }));
+      record("mask", "reference", TimeBest(reps, [&] {
+               std::vector<bool> mask(table.num_rows());
+               for (size_t r = 0; r < table.num_rows(); ++r) {
+                 mask[r] = pred.Eval(table, r);
+               }
+               sink += mask.size();
+             }));
+      record("mask", "compiled", TimeBest(reps, [&] {
+               sink += compiled.EvalMask(table).Count();
+             }));
+
+      // --- filtered count over the non-sensitive rows ------------------
+      record("count", "boxed", TimeBest(reps, [&] {
+               size_t count = 0;
+               for (size_t r = 0; r < table.num_rows(); ++r) {
+                 if (ns_bools[r] && pred.Eval(schema, table.GetRow(r))) ++count;
+               }
+               sink += count;
+             }));
+      record("count", "reference", TimeBest(reps, [&] {
+               size_t count = 0;
+               for (size_t r = 0; r < table.num_rows(); ++r) {
+                 if (ns_bools[r] && pred.Eval(table, r)) ++count;
+               }
+               sink += count;
+             }));
+      record("count", "compiled", TimeBest(reps, [&] {
+               RowMask m = compiled.EvalMask(table);
+               m.AndWith(ns_mask);
+               sink += m.Count();
+             }));
+
+      // --- masked histogram (x_ns with WHERE) --------------------------
+      HistogramQuery query{"age", age_domain, std::optional<Predicate>(pred)};
+      record("hist", "boxed", TimeBest(reps, [&] {
+               Histogram h(age_domain.size());
+               for (size_t r = 0; r < table.num_rows(); ++r) {
+                 if (!ns_bools[r]) continue;
+                 if (!pred.Eval(schema, table.GetRow(r))) continue;
+                 h.Add(age_domain.BinOf(
+                     static_cast<double>(table.GetValue(r, 0).AsInt64())));
+               }
+               sink += static_cast<size_t>(h.Total());
+             }));
+      record("hist", "reference", TimeBest(reps, [&] {
+               Histogram h(age_domain.size());
+               const std::vector<int64_t>& age = table.Int64Column(0);
+               for (size_t r = 0; r < table.num_rows(); ++r) {
+                 if (!ns_bools[r]) continue;
+                 if (!pred.Eval(table, r)) continue;
+                 h.Add(age_domain.BinOf(static_cast<double>(age[r])));
+               }
+               sink += static_cast<size_t>(h.Total());
+             }));
+      record("hist", "compiled", TimeBest(reps, [&] {
+               sink += static_cast<size_t>(
+                   ComputeHistogramMasked(table, query, ns_mask)->Total());
+             }));
+    }
+
+    // Per-row-count table.
+    TextTable text({"shape", "op", "boxed rows/s", "ref rows/s",
+                    "compiled rows/s", "speedup vs boxed", "vs ref"});
+    for (const Shape& shape : MakeShapes()) {
+      for (const char* op : {"mask", "count", "hist"}) {
+        double by_path[3] = {0, 0, 0};
+        for (const Measurement& m : results) {
+          if (m.shape != shape.name || m.rows != rows || m.op != op) continue;
+          if (m.path == "boxed") by_path[0] = m.rows_per_sec;
+          if (m.path == "reference") by_path[1] = m.rows_per_sec;
+          if (m.path == "compiled") by_path[2] = m.rows_per_sec;
+        }
+        text.AddRow({shape.name, op, TextTable::FmtAuto(by_path[0]),
+                     TextTable::FmtAuto(by_path[1]),
+                     TextTable::FmtAuto(by_path[2]),
+                     TextTable::Fmt(by_path[2] / by_path[0], 1) + "x",
+                     TextTable::Fmt(by_path[2] / by_path[1], 1) + "x"});
+      }
+    }
+    std::printf("--- %zu rows ---\n%s\n", rows, text.ToString().c_str());
+  }
+
+  // Acceptance line: 1M rows, 3-leaf predicate, mask + count >= 5x.
+  for (const char* op : {"mask", "count"}) {
+    double boxed = 0, compiled_rps = 0;
+    for (const Measurement& m : results) {
+      if (m.shape == "mixed3" && m.rows == 1000000 && m.op == op) {
+        if (m.path == "boxed") boxed = m.rows_per_sec;
+        if (m.path == "compiled") compiled_rps = m.rows_per_sec;
+      }
+    }
+    if (boxed > 0) {
+      std::printf("acceptance[%s @1M, 3-leaf]: %.1fx vs boxed\n", op,
+                  compiled_rps / boxed);
+    }
+  }
+
+  // JSON artefact.
+  const char* json_env = std::getenv("OSDP_BENCH_JSON");
+  const std::string json_path =
+      json_env ? json_env : "BENCH_predicate_pipeline.json";
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"predicate_pipeline\",\n  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    std::fprintf(f,
+                 "    {\"shape\": \"%s\", \"rows\": %zu, \"op\": \"%s\", "
+                 "\"path\": \"%s\", \"sec_per_iter\": %.6g, "
+                 "\"rows_per_sec\": %.6g}%s\n",
+                 m.shape.c_str(), m.rows, m.op.c_str(), m.path.c_str(),
+                 m.sec_per_iter, m.rows_per_sec,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu measurements); sink=%zu\n", json_path.c_str(),
+              results.size(), static_cast<size_t>(sink));
+  return 0;
+}

@@ -1,28 +1,37 @@
 #include "src/accesscontrol/access_control.h"
 
+#include "src/common/check.h"
+#include "src/data/compiled_predicate.h"
+#include "src/data/row_mask.h"
+
 namespace osdp {
 
 AccessControlledDb::AccessControlledDb(Table data, Policy policy)
-    : data_(std::move(data)), policy_(std::move(policy)) {}
+    : data_(std::move(data)), policy_(std::move(policy)) {
+  sensitive_mask_ = policy_.SensitiveMask(data_);
+}
 
 AccessControlResponse AccessControlledDb::Select(
     const Predicate& pred, AccessControlModel model) const {
-  std::vector<size_t> matching_ns;
-  bool any_sensitive_match = false;
-  for (size_t row = 0; row < data_.num_rows(); ++row) {
-    if (!pred.Eval(data_, row)) continue;
-    if (policy_.IsSensitive(data_, row)) {
-      any_sensitive_match = true;
-    } else {
-      matching_ns.push_back(row);
-    }
-  }
+  // Batch path: one compiled scan for the query predicate, one cached scan
+  // for the policy, then word-wise mask algebra. A predicate that does not
+  // type-check against the data is a programming error, as in the
+  // row-at-a-time evaluator.
+  Result<CompiledPredicate> compiled =
+      CompiledPredicate::Compile(pred, data_.schema());
+  OSDP_CHECK_MSG(compiled.ok(), compiled.status().ToString());
+  RowMask matching = compiled->EvalMask(data_);
 
   AccessControlResponse resp;
-  if (model == AccessControlModel::kNonTruman && any_sensitive_match) {
+  if (model == AccessControlModel::kNonTruman &&
+      matching.Intersects(sensitive_mask_)) {
     resp.kind = AccessControlResponse::Kind::kRejected;
     return resp;
   }
+
+  matching.AndNotWith(sensitive_mask_);  // restrict to the authorized view
+  const std::vector<size_t> matching_ns = matching.ToIndices();
+
   if (matching_ns.empty()) {
     resp.kind = AccessControlResponse::Kind::kEmpty;
     return resp;

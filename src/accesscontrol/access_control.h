@@ -11,6 +11,7 @@
 
 #include "src/common/result.h"
 #include "src/data/predicate.h"
+#include "src/data/row_mask.h"
 #include "src/data/table.h"
 #include "src/policy/policy.h"
 
@@ -54,6 +55,7 @@ class AccessControlledDb {
  private:
   Table data_;
   Policy policy_;
+  RowMask sensitive_mask_;  // data_ and policy_ are immutable: classify once
 };
 
 }  // namespace osdp

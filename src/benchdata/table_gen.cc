@@ -1,0 +1,44 @@
+#include "src/benchdata/table_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace osdp {
+
+Table MakeCensusTable(const CensusTableOptions& opts) {
+  Schema schema({{"age", ValueType::kInt64},
+                 {"income", ValueType::kDouble},
+                 {"race", ValueType::kString},
+                 {"opt_in", ValueType::kInt64},
+                 {"zip", ValueType::kInt64}});
+  Table table(schema);
+  Rng rng(opts.seed);
+
+  std::vector<std::string> categories;
+  categories.reserve(std::max<size_t>(opts.num_categories, 1));
+  for (size_t c = 0; c < std::max<size_t>(opts.num_categories, 1); ++c) {
+    categories.push_back("C" + std::to_string(c));
+  }
+
+  Row row(5);
+  for (size_t i = 0; i < opts.num_rows; ++i) {
+    row[0] = Value(static_cast<int64_t>(rng.NextBounded(100)));
+    // Pareto(alpha=2) incomes: heavy-tailed like the real thing, capped so
+    // double comparisons stay in a sane range.
+    const double income =
+        std::min(2.0e4 / std::sqrt(rng.NextDoublePositive()), 1.0e7);
+    row[1] = Value(income);
+    row[2] = Value(categories[rng.NextBounded(categories.size())]);
+    row[3] = Value(static_cast<int64_t>(
+        rng.NextDouble() < opts.opt_out_fraction ? 0 : 1));
+    row[4] = Value(static_cast<int64_t>(rng.NextBounded(10000)));
+    table.AppendRowUnchecked(row);
+  }
+  return table;
+}
+
+}  // namespace osdp

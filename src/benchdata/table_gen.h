@@ -1,0 +1,37 @@
+// Synthetic record-level tables for scan benchmarks and property tests.
+//
+// The DPBench generators (dpbench.h) synthesize *histograms*; the compiled
+// predicate pipeline operates a level below, on the columnar Table itself.
+// This module materializes record-level datasets of arbitrary scale with the
+// mixed column types (int64 / double / string) that policies and WHERE
+// clauses exercise, deterministically from a seed.
+
+#ifndef OSDP_BENCHDATA_TABLE_GEN_H_
+#define OSDP_BENCHDATA_TABLE_GEN_H_
+
+#include <cstdint>
+
+#include "src/data/table.h"
+
+namespace osdp {
+
+/// Options for MakeCensusTable.
+struct CensusTableOptions {
+  size_t num_rows = 100000;
+  uint64_t seed = 0x05D9;
+  /// Number of distinct category strings in the `race` column.
+  size_t num_categories = 8;
+  /// Fraction of rows with opt_in = 0 (the paper's opt-out share).
+  double opt_out_fraction = 0.3;
+};
+
+/// \brief A census-style table with schema
+///   (age:int64, income:double, race:string, opt_in:int64, zip:int64)
+/// — the shape of the paper's running example (Section 3.1). Ages are
+/// uniform in [0, 99], incomes heavy-tailed, race drawn from "C0".."Ck",
+/// zip uniform in [0, 9999]. Deterministic given the options.
+Table MakeCensusTable(const CensusTableOptions& opts);
+
+}  // namespace osdp
+
+#endif  // OSDP_BENCHDATA_TABLE_GEN_H_

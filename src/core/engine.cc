@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/distributions.h"
+#include "src/data/compiled_predicate.h"
 #include "src/mech/laplace.h"
 #include "src/mech/osdp_laplace.h"
 #include "src/mech/osdp_rr.h"
@@ -31,7 +32,7 @@ OsdpEngine::OsdpEngine(Table data, Policy policy, Options options)
       options_(options),
       budget_(options.total_epsilon),
       rng_(options.seed) {
-  ns_mask_ = policy_.NonSensitiveMask(data_);
+  ns_mask_ = policy_.NonSensitiveRowMask(data_);
 }
 
 Result<OsdpEngine> OsdpEngine::Create(Table data, Policy policy,
@@ -98,10 +99,11 @@ Result<double> OsdpEngine::AnswerCount(const Predicate& where, double epsilon) {
   if (epsilon <= 0.0) {
     return Status::InvalidArgument("epsilon must be positive");
   }
-  double count = 0.0;
-  for (size_t row = 0; row < data_.num_rows(); ++row) {
-    if (ns_mask_[row] && where.Eval(data_, row)) count += 1.0;
-  }
+  OSDP_ASSIGN_OR_RETURN(CompiledPredicate compiled,
+                        CompiledPredicate::Compile(where, data_.schema()));
+  RowMask matching = compiled.EvalMask(data_);
+  matching.AndWith(ns_mask_);
+  const double count = static_cast<double>(matching.Count());
   OSDP_RETURN_IF_ERROR(budget_.Spend(epsilon, "count query"));
   ledger_.Record(policy_, epsilon, "count query");
   // One-sided Laplace with sensitivity 1: a one-sided neighbor can only

@@ -14,6 +14,7 @@
 #include "src/accounting/composition.h"
 #include "src/common/random.h"
 #include "src/common/result.h"
+#include "src/data/row_mask.h"
 #include "src/data/table.h"
 #include "src/hist/histogram.h"
 #include "src/hist/histogram_query.h"
@@ -63,7 +64,11 @@ class OsdpEngine {
                                     EngineMechanism mechanism);
 
   /// \brief Answers a scalar count (rows matching `where`) with one-sided
-  /// Laplace noise over the non-sensitive rows, charging `epsilon`.
+  /// Laplace noise over the non-sensitive rows, charging `epsilon`. The
+  /// predicate is compiled and batch-evaluated against the cached
+  /// non-sensitive mask; a predicate that does not fit the schema fails
+  /// (NotFound for unknown columns, InvalidArgument for string/numeric
+  /// mixes) before any budget is spent.
   Result<double> AnswerCount(const Predicate& where, double epsilon);
 
   /// Remaining lifetime budget.
@@ -91,7 +96,7 @@ class OsdpEngine {
   PrivacyBudget budget_;
   CompositionLedger ledger_;
   Rng rng_;
-  std::vector<bool> ns_mask_;  // cached non-sensitive row mask
+  RowMask ns_mask_;  // cached non-sensitive row mask (batch-classified once)
 };
 
 /// Name of an EngineMechanism ("Laplace", "DAWAz", ...).

@@ -1,0 +1,300 @@
+#include "src/data/compiled_predicate.h"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace osdp {
+
+// The compiled program: the same tree shape as Predicate::Node, but with
+// column indices resolved, each comparison specialized to the column's static
+// type, and literals pre-converted (numerics widened to double — matching the
+// reference evaluator's comparison semantics — strings interned in place).
+struct CompiledPredicate::Op {
+  enum class Kind {
+    kConstTrue,
+    kConstFalse,
+    kCmpNum,  // numeric column <op> numeric literal
+    kCmpStr,  // string column <op> string literal
+    kInNum,   // numeric column ∈ {numeric literals}
+    kInStr,   // string column ∈ {string literals}
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  Kind kind;
+  PredicateOp cmp = PredicateOp::kEq;  // for kCmpNum / kCmpStr
+  size_t col = 0;
+  ValueType col_type = ValueType::kInt64;
+  double num_lit = 0.0;
+  std::string str_lit;
+  std::vector<double> num_set;
+  std::vector<std::string> str_set;
+  std::shared_ptr<const Op> left;
+  std::shared_ptr<const Op> right;
+};
+
+namespace {
+
+using Op = CompiledPredicate::Op;
+
+bool IsComparison(PredicateOp op) {
+  switch (op) {
+    case PredicateOp::kEq:
+    case PredicateOp::kNe:
+    case PredicateOp::kLt:
+    case PredicateOp::kLe:
+    case PredicateOp::kGt:
+    case PredicateOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<std::shared_ptr<const Op>> CompileNode(const Predicate::Node& n,
+                                              const Schema& schema) {
+  auto op = std::make_shared<Op>();
+  switch (n.op) {
+    case PredicateOp::kTrue:
+      op->kind = Op::Kind::kConstTrue;
+      return std::shared_ptr<const Op>(op);
+    case PredicateOp::kFalse:
+      op->kind = Op::Kind::kConstFalse;
+      return std::shared_ptr<const Op>(op);
+    case PredicateOp::kAnd:
+    case PredicateOp::kOr: {
+      op->kind =
+          n.op == PredicateOp::kAnd ? Op::Kind::kAnd : Op::Kind::kOr;
+      OSDP_ASSIGN_OR_RETURN(op->left, CompileNode(*n.left, schema));
+      OSDP_ASSIGN_OR_RETURN(op->right, CompileNode(*n.right, schema));
+      return std::shared_ptr<const Op>(op);
+    }
+    case PredicateOp::kNot: {
+      op->kind = Op::Kind::kNot;
+      OSDP_ASSIGN_OR_RETURN(op->left, CompileNode(*n.left, schema));
+      return std::shared_ptr<const Op>(op);
+    }
+    default:
+      break;
+  }
+
+  // Leaf: resolve the column once and type-check every literal now, so the
+  // scan loops carry no per-row checks.
+  OSDP_ASSIGN_OR_RETURN(op->col, schema.FieldIndex(n.column));
+  op->col_type = schema.field(op->col).type;
+  const bool str_col = op->col_type == ValueType::kString;
+  for (const Value& lit : n.literals) {
+    if (lit.is_string() != str_col) {
+      return Status::InvalidArgument(
+          "predicate compares string against numeric in column '" + n.column +
+          "'");
+    }
+  }
+
+  if (n.op == PredicateOp::kIn) {
+    if (n.literals.empty()) {
+      op->kind = Op::Kind::kConstFalse;  // x ∈ ∅ is vacuously false
+      return std::shared_ptr<const Op>(op);
+    }
+    op->kind = str_col ? Op::Kind::kInStr : Op::Kind::kInNum;
+    for (const Value& lit : n.literals) {
+      if (str_col) {
+        op->str_set.push_back(lit.AsString());
+      } else {
+        op->num_set.push_back(lit.AsNumeric());
+      }
+    }
+    return std::shared_ptr<const Op>(op);
+  }
+
+  OSDP_CHECK(IsComparison(n.op) && n.literals.size() == 1);
+  op->cmp = n.op;
+  op->kind = str_col ? Op::Kind::kCmpStr : Op::Kind::kCmpNum;
+  if (str_col) {
+    op->str_lit = n.literals[0].AsString();
+  } else {
+    op->num_lit = n.literals[0].AsNumeric();
+  }
+  return std::shared_ptr<const Op>(op);
+}
+
+// Packs fn(row) over all rows into out, 64 bits at a time. fn must be pure.
+template <typename Fn>
+void FillMask(size_t n, RowMask* out, const Fn& fn) {
+  uint64_t* words = out->mutable_words();
+  const size_t full_words = n >> 6;
+  for (size_t wi = 0; wi < full_words; ++wi) {
+    const size_t base = wi << 6;
+    uint64_t w = 0;
+    for (size_t b = 0; b < 64; ++b) {
+      w |= static_cast<uint64_t>(fn(base + b) ? 1 : 0) << b;
+    }
+    words[wi] = w;
+  }
+  if (n & 63) {
+    uint64_t w = 0;
+    for (size_t i = full_words << 6; i < n; ++i) {
+      w |= static_cast<uint64_t>(fn(i) ? 1 : 0) << (i & 63);
+    }
+    words[full_words] = w;
+  }
+}
+
+// Comparison loops. Numeric columns compare as double regardless of storage
+// type — exactly the reference CompareCell semantics.
+template <typename SrcT>
+void FillNumCmp(PredicateOp cmp, const SrcT* col, size_t n, double lit,
+                RowMask* out) {
+  switch (cmp) {
+    case PredicateOp::kEq:
+      FillMask(n, out, [&](size_t i) { return static_cast<double>(col[i]) == lit; });
+      break;
+    case PredicateOp::kNe:
+      FillMask(n, out, [&](size_t i) { return static_cast<double>(col[i]) != lit; });
+      break;
+    case PredicateOp::kLt:
+      FillMask(n, out, [&](size_t i) { return static_cast<double>(col[i]) < lit; });
+      break;
+    case PredicateOp::kLe:
+      FillMask(n, out, [&](size_t i) { return static_cast<double>(col[i]) <= lit; });
+      break;
+    case PredicateOp::kGt:
+      FillMask(n, out, [&](size_t i) { return static_cast<double>(col[i]) > lit; });
+      break;
+    case PredicateOp::kGe:
+      FillMask(n, out, [&](size_t i) { return static_cast<double>(col[i]) >= lit; });
+      break;
+    default:
+      OSDP_CHECK_MSG(false, "bad comparison op");
+  }
+}
+
+void FillStrCmp(PredicateOp cmp, const std::vector<std::string>& col,
+                std::string_view lit, RowMask* out) {
+  const size_t n = col.size();
+  switch (cmp) {
+    case PredicateOp::kEq:
+      FillMask(n, out, [&](size_t i) { return std::string_view(col[i]) == lit; });
+      break;
+    case PredicateOp::kNe:
+      FillMask(n, out, [&](size_t i) { return std::string_view(col[i]) != lit; });
+      break;
+    case PredicateOp::kLt:
+      FillMask(n, out, [&](size_t i) { return std::string_view(col[i]) < lit; });
+      break;
+    case PredicateOp::kLe:
+      FillMask(n, out, [&](size_t i) { return std::string_view(col[i]) <= lit; });
+      break;
+    case PredicateOp::kGt:
+      FillMask(n, out, [&](size_t i) { return std::string_view(col[i]) > lit; });
+      break;
+    case PredicateOp::kGe:
+      FillMask(n, out, [&](size_t i) { return std::string_view(col[i]) >= lit; });
+      break;
+    default:
+      OSDP_CHECK_MSG(false, "bad comparison op");
+  }
+}
+
+void EvalOp(const Op& op, const Table& table, RowMask* out) {
+  const size_t n = table.num_rows();
+  switch (op.kind) {
+    case Op::Kind::kConstTrue:
+      out->SetAll(true);
+      return;
+    case Op::Kind::kConstFalse:
+      out->SetAll(false);
+      return;
+    case Op::Kind::kAnd: {
+      EvalOp(*op.left, table, out);
+      RowMask rhs(n);
+      EvalOp(*op.right, table, &rhs);
+      out->AndWith(rhs);
+      return;
+    }
+    case Op::Kind::kOr: {
+      EvalOp(*op.left, table, out);
+      RowMask rhs(n);
+      EvalOp(*op.right, table, &rhs);
+      out->OrWith(rhs);
+      return;
+    }
+    case Op::Kind::kNot:
+      EvalOp(*op.left, table, out);
+      out->FlipAll();
+      return;
+    case Op::Kind::kCmpNum:
+      if (op.col_type == ValueType::kInt64) {
+        FillNumCmp(op.cmp, table.Int64Column(op.col).data(), n, op.num_lit, out);
+      } else {
+        FillNumCmp(op.cmp, table.DoubleColumn(op.col).data(), n, op.num_lit, out);
+      }
+      return;
+    case Op::Kind::kCmpStr:
+      FillStrCmp(op.cmp, table.StringColumn(op.col), op.str_lit, out);
+      return;
+    case Op::Kind::kInNum: {
+      // IN lists are tiny in practice (policy categories); a linear scan over
+      // the interned literal vector beats a hash/sort setup per evaluation.
+      const std::vector<double>& set = op.num_set;
+      auto member = [&](double v) {
+        for (double s : set) {
+          if (v == s) return true;
+        }
+        return false;
+      };
+      if (op.col_type == ValueType::kInt64) {
+        const int64_t* col = table.Int64Column(op.col).data();
+        FillMask(n, out, [&](size_t i) {
+          return member(static_cast<double>(col[i]));
+        });
+      } else {
+        const double* col = table.DoubleColumn(op.col).data();
+        FillMask(n, out, [&](size_t i) { return member(col[i]); });
+      }
+      return;
+    }
+    case Op::Kind::kInStr: {
+      const std::vector<std::string>& col = table.StringColumn(op.col);
+      const std::vector<std::string>& set = op.str_set;
+      FillMask(n, out, [&](size_t i) {
+        const std::string_view v(col[i]);
+        for (const std::string& s : set) {
+          if (v == s) return true;
+        }
+        return false;
+      });
+      return;
+    }
+  }
+  OSDP_CHECK_MSG(false, "corrupt compiled predicate");
+}
+
+}  // namespace
+
+Result<CompiledPredicate> CompiledPredicate::Compile(const Predicate& pred,
+                                                     const Schema& schema) {
+  OSDP_CHECK(pred.root() != nullptr);
+  OSDP_ASSIGN_OR_RETURN(std::shared_ptr<const Op> root,
+                        CompileNode(*pred.root(), schema));
+  return CompiledPredicate(schema, std::move(root));
+}
+
+RowMask CompiledPredicate::EvalMask(const Table& table) const {
+  RowMask out(table.num_rows());
+  EvalInto(table, &out);
+  return out;
+}
+
+void CompiledPredicate::EvalInto(const Table& table, RowMask* out) const {
+  OSDP_CHECK_MSG(table.schema() == schema_,
+                 "table schema differs from the compiled schema");
+  OSDP_CHECK(out->size() == table.num_rows());
+  EvalOp(*root_, table, out);
+}
+
+}  // namespace osdp

@@ -1,7 +1,7 @@
 #include "src/data/predicate.h"
 
 #include <algorithm>
-#include <functional>
+#include <string_view>
 
 #include "src/common/check.h"
 
@@ -9,79 +9,76 @@ namespace osdp {
 
 namespace {
 
-enum class OpKind {
-  kEq,
-  kNe,
-  kLt,
-  kLe,
-  kGt,
-  kGe,
-  kIn,
-  kAnd,
-  kOr,
-  kNot,
-  kTrue,
-  kFalse,
+// A borrowed view of one cell: numerics by value, strings by view into the
+// column storage (or the materialized Row). Comparing through CellView keeps
+// the reference evaluator free of Value boxing and string copies.
+struct CellView {
+  ValueType type;
+  int64_t i64 = 0;
+  double dbl = 0.0;
+  std::string_view str;
+
+  static CellView Of(const Value& v) {
+    CellView c;
+    c.type = v.type();
+    switch (c.type) {
+      case ValueType::kInt64:
+        c.i64 = v.AsInt64();
+        break;
+      case ValueType::kDouble:
+        c.dbl = v.AsDouble();
+        break;
+      case ValueType::kString:
+        c.str = v.AsString();
+        break;
+    }
+    return c;
+  }
+
+  double AsNumeric() const {
+    return type == ValueType::kInt64 ? static_cast<double>(i64) : dbl;
+  }
 };
 
-bool CompareValues(OpKind op, const Value& lhs, const Value& rhs) {
-  // Numeric columns compare numerically (int64 vs double literals mix freely);
-  // strings compare lexicographically. Cross string/numeric comparison aborts.
-  if (lhs.is_string() || rhs.is_string()) {
-    OSDP_CHECK_MSG(lhs.is_string() && rhs.is_string(),
-                   "string compared against numeric");
-    const std::string& a = lhs.AsString();
-    const std::string& b = rhs.AsString();
-    switch (op) {
-      case OpKind::kEq: return a == b;
-      case OpKind::kNe: return a != b;
-      case OpKind::kLt: return a < b;
-      case OpKind::kLe: return a <= b;
-      case OpKind::kGt: return a > b;
-      case OpKind::kGe: return a >= b;
-      default: OSDP_CHECK_MSG(false, "bad comparison op"); return false;
-    }
-  }
-  const double a = lhs.AsNumeric();
-  const double b = rhs.AsNumeric();
+template <typename T>
+bool ApplyOp(PredicateOp op, const T& a, const T& b) {
   switch (op) {
-    case OpKind::kEq: return a == b;
-    case OpKind::kNe: return a != b;
-    case OpKind::kLt: return a < b;
-    case OpKind::kLe: return a <= b;
-    case OpKind::kGt: return a > b;
-    case OpKind::kGe: return a >= b;
+    case PredicateOp::kEq: return a == b;
+    case PredicateOp::kNe: return a != b;
+    case PredicateOp::kLt: return a < b;
+    case PredicateOp::kLe: return a <= b;
+    case PredicateOp::kGt: return a > b;
+    case PredicateOp::kGe: return a >= b;
     default: OSDP_CHECK_MSG(false, "bad comparison op"); return false;
   }
 }
 
-const char* OpSymbol(OpKind op) {
+// Cell <op> literal with the library's comparison semantics: numeric columns
+// compare numerically (int64 vs double literals mix freely); strings compare
+// lexicographically; cross string/numeric comparison aborts.
+bool CompareCell(PredicateOp op, const CellView& lhs, const Value& rhs) {
+  if (lhs.type == ValueType::kString || rhs.is_string()) {
+    OSDP_CHECK_MSG(lhs.type == ValueType::kString && rhs.is_string(),
+                   "string compared against numeric");
+    return ApplyOp<std::string_view>(op, lhs.str, rhs.AsString());
+  }
+  return ApplyOp<double>(op, lhs.AsNumeric(), rhs.AsNumeric());
+}
+
+const char* OpSymbol(PredicateOp op) {
   switch (op) {
-    case OpKind::kEq: return "=";
-    case OpKind::kNe: return "!=";
-    case OpKind::kLt: return "<";
-    case OpKind::kLe: return "<=";
-    case OpKind::kGt: return ">";
-    case OpKind::kGe: return ">=";
+    case PredicateOp::kEq: return "=";
+    case PredicateOp::kNe: return "!=";
+    case PredicateOp::kLt: return "<";
+    case PredicateOp::kLe: return "<=";
+    case PredicateOp::kGt: return ">";
+    case PredicateOp::kGe: return ">=";
     default: return "?";
   }
 }
 
-}  // namespace
-
-struct Predicate::Node {
-  OpKind op;
-  // Leaf payload.
-  std::string column;
-  std::vector<Value> literals;
-  // Children for logical nodes.
-  std::shared_ptr<const Node> left;
-  std::shared_ptr<const Node> right;
-};
-
-namespace {
-
-Predicate::Node MakeLeaf(OpKind op, std::string column, std::vector<Value> lits) {
+Predicate::Node MakeLeaf(PredicateOp op, std::string column,
+                         std::vector<Value> lits) {
   Predicate::Node n;
   n.op = op;
   n.column = std::move(column);
@@ -89,48 +86,50 @@ Predicate::Node MakeLeaf(OpKind op, std::string column, std::vector<Value> lits)
   return n;
 }
 
+// `cell` maps a column index to a CellView for the row under evaluation.
+template <typename CellFn>
 bool EvalNode(const Predicate::Node& n, const Schema& schema,
-              const std::function<Value(size_t col)>& cell) {
+              const CellFn& cell) {
   switch (n.op) {
-    case OpKind::kTrue:
+    case PredicateOp::kTrue:
       return true;
-    case OpKind::kFalse:
+    case PredicateOp::kFalse:
       return false;
-    case OpKind::kAnd:
+    case PredicateOp::kAnd:
       return EvalNode(*n.left, schema, cell) && EvalNode(*n.right, schema, cell);
-    case OpKind::kOr:
+    case PredicateOp::kOr:
       return EvalNode(*n.left, schema, cell) || EvalNode(*n.right, schema, cell);
-    case OpKind::kNot:
+    case PredicateOp::kNot:
       return !EvalNode(*n.left, schema, cell);
     default:
       break;
   }
   auto idx = schema.FieldIndex(n.column);
   OSDP_CHECK_MSG(idx.ok(), "predicate references unknown column " << n.column);
-  const Value v = cell(idx.ValueOrDie());
-  if (n.op == OpKind::kIn) {
+  const CellView v = cell(idx.ValueOrDie());
+  if (n.op == PredicateOp::kIn) {
     return std::any_of(n.literals.begin(), n.literals.end(),
                        [&](const Value& lit) {
-                         return CompareValues(OpKind::kEq, v, lit);
+                         return CompareCell(PredicateOp::kEq, v, lit);
                        });
   }
   OSDP_CHECK(n.literals.size() == 1);
-  return CompareValues(n.op, v, n.literals[0]);
+  return CompareCell(n.op, v, n.literals[0]);
 }
 
 std::string NodeToString(const Predicate::Node& n) {
   switch (n.op) {
-    case OpKind::kTrue:
+    case PredicateOp::kTrue:
       return "TRUE";
-    case OpKind::kFalse:
+    case PredicateOp::kFalse:
       return "FALSE";
-    case OpKind::kAnd:
+    case PredicateOp::kAnd:
       return "(" + NodeToString(*n.left) + " AND " + NodeToString(*n.right) + ")";
-    case OpKind::kOr:
+    case PredicateOp::kOr:
       return "(" + NodeToString(*n.left) + " OR " + NodeToString(*n.right) + ")";
-    case OpKind::kNot:
+    case PredicateOp::kNot:
       return "NOT " + NodeToString(*n.left);
-    case OpKind::kIn: {
+    case PredicateOp::kIn: {
       std::string out = n.column + " IN (";
       for (size_t i = 0; i < n.literals.size(); ++i) {
         if (i) out += ", ";
@@ -151,23 +150,23 @@ std::string NodeToString(const Predicate::Node& n) {
         MakeLeaf(Kind, std::move(column), {std::move(literal)})));       \
   }
 
-OSDP_DEFINE_LEAF(Eq, OpKind::kEq)
-OSDP_DEFINE_LEAF(Ne, OpKind::kNe)
-OSDP_DEFINE_LEAF(Lt, OpKind::kLt)
-OSDP_DEFINE_LEAF(Le, OpKind::kLe)
-OSDP_DEFINE_LEAF(Gt, OpKind::kGt)
-OSDP_DEFINE_LEAF(Ge, OpKind::kGe)
+OSDP_DEFINE_LEAF(Eq, PredicateOp::kEq)
+OSDP_DEFINE_LEAF(Ne, PredicateOp::kNe)
+OSDP_DEFINE_LEAF(Lt, PredicateOp::kLt)
+OSDP_DEFINE_LEAF(Le, PredicateOp::kLe)
+OSDP_DEFINE_LEAF(Gt, PredicateOp::kGt)
+OSDP_DEFINE_LEAF(Ge, PredicateOp::kGe)
 
 #undef OSDP_DEFINE_LEAF
 
 Predicate Predicate::In(std::string column, std::vector<Value> literals) {
   return Predicate(std::make_shared<const Node>(
-      MakeLeaf(OpKind::kIn, std::move(column), std::move(literals))));
+      MakeLeaf(PredicateOp::kIn, std::move(column), std::move(literals))));
 }
 
 Predicate Predicate::And(Predicate a, Predicate b) {
   Node n;
-  n.op = OpKind::kAnd;
+  n.op = PredicateOp::kAnd;
   n.left = std::move(a.node_);
   n.right = std::move(b.node_);
   return Predicate(std::make_shared<const Node>(std::move(n)));
@@ -175,7 +174,7 @@ Predicate Predicate::And(Predicate a, Predicate b) {
 
 Predicate Predicate::Or(Predicate a, Predicate b) {
   Node n;
-  n.op = OpKind::kOr;
+  n.op = PredicateOp::kOr;
   n.left = std::move(a.node_);
   n.right = std::move(b.node_);
   return Predicate(std::make_shared<const Node>(std::move(n)));
@@ -183,34 +182,48 @@ Predicate Predicate::Or(Predicate a, Predicate b) {
 
 Predicate Predicate::Not(Predicate a) {
   Node n;
-  n.op = OpKind::kNot;
+  n.op = PredicateOp::kNot;
   n.left = std::move(a.node_);
   return Predicate(std::make_shared<const Node>(std::move(n)));
 }
 
 Predicate Predicate::True() {
   Node n;
-  n.op = OpKind::kTrue;
+  n.op = PredicateOp::kTrue;
   return Predicate(std::make_shared<const Node>(std::move(n)));
 }
 
 Predicate Predicate::False() {
   Node n;
-  n.op = OpKind::kFalse;
+  n.op = PredicateOp::kFalse;
   return Predicate(std::make_shared<const Node>(std::move(n)));
 }
 
 bool Predicate::Eval(const Table& table, size_t row) const {
   OSDP_CHECK(node_ != nullptr);
-  return EvalNode(*node_, table.schema(),
-                  [&](size_t col) { return table.GetValue(row, col); });
+  return EvalNode(*node_, table.schema(), [&](size_t col) {
+    CellView c;
+    c.type = table.schema().field(col).type;
+    switch (c.type) {
+      case ValueType::kInt64:
+        c.i64 = table.Int64Column(col)[row];
+        break;
+      case ValueType::kDouble:
+        c.dbl = table.DoubleColumn(col)[row];
+        break;
+      case ValueType::kString:
+        c.str = table.StringViewAt(row, col);
+        break;
+    }
+    return c;
+  });
 }
 
 bool Predicate::Eval(const Schema& schema, const Row& row) const {
   OSDP_CHECK(node_ != nullptr);
   return EvalNode(*node_, schema, [&](size_t col) {
     OSDP_CHECK(col < row.size());
-    return row[col];
+    return CellView::Of(row[col]);
   });
 }
 

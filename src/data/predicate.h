@@ -9,6 +9,12 @@
 // They evaluate against a (Table, row index) pair so the columnar layout is
 // used directly, and against a materialized Row for single-record checks (the
 // attack analyzer enumerates the record universe this way).
+//
+// Eval here is the row-at-a-time *reference* implementation: it resolves
+// column names through the schema on every call and dispatches through the
+// tree per row. Hot paths bind the tree once against a Schema with
+// CompiledPredicate (compiled_predicate.h) and evaluate column-at-a-time
+// into a RowMask; a property test keeps the two bit-identical.
 
 #ifndef OSDP_DATA_PREDICATE_H_
 #define OSDP_DATA_PREDICATE_H_
@@ -21,6 +27,23 @@
 #include "src/data/value.h"
 
 namespace osdp {
+
+/// Node operator of a predicate expression tree. Exposed so that compilers /
+/// printers outside predicate.cc (notably CompiledPredicate) can walk trees.
+enum class PredicateOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kIn,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+};
 
 /// \brief Immutable boolean expression over a row. Cheap to copy (shared
 /// internal nodes).
@@ -58,12 +81,28 @@ class Predicate {
   /// Debug rendering, e.g. "(age <= 17 OR opt_in = 0)".
   std::string ToString() const;
 
-  /// Implementation node; public only so internal free functions can name it.
+  /// Implementation node; see below.
   struct Node;
+
+  /// The root of the expression tree (never null for a built predicate).
+  const Node* root() const { return node_.get(); }
 
  private:
   explicit Predicate(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
   std::shared_ptr<const Node> node_;
+};
+
+/// Expression tree node. Leaves (kEq..kIn) carry `column` + `literals`;
+/// logical nodes carry children. Defined in the header so CompiledPredicate
+/// can translate trees without re-parsing.
+struct Predicate::Node {
+  PredicateOp op;
+  // Leaf payload.
+  std::string column;
+  std::vector<Value> literals;
+  // Children for logical nodes.
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
 };
 
 }  // namespace osdp

@@ -121,11 +121,20 @@ Result<const std::vector<std::string>*> Table::StringColumnByName(
 }
 
 Table Table::SelectRows(const std::vector<size_t>& row_indices) const {
+  for (size_t r : row_indices) OSDP_CHECK(r < num_rows_);
+  // Column-at-a-time gather: one typed copy per cell, no Value boxing.
   Table out(schema_);
-  for (size_t r : row_indices) {
-    OSDP_CHECK(r < num_rows_);
-    out.AppendRowUnchecked(GetRow(r));
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::visit(
+        [&](const auto& src) {
+          auto& dst =
+              std::get<std::decay_t<decltype(src)>>(out.columns_[c]);
+          dst.reserve(row_indices.size());
+          for (size_t r : row_indices) dst.push_back(src[r]);
+        },
+        columns_[c]);
   }
+  out.num_rows_ = row_indices.size();
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -40,8 +41,14 @@ class Table {
   /// Appends a row without validation (hot path; caller guarantees types).
   void AppendRowUnchecked(const Row& row);
 
-  /// Cell accessor as a dynamic Value (slow path).
+  /// Cell accessor as a dynamic Value (slow path; copies strings).
   Value GetValue(size_t row, size_t col) const;
+
+  /// Borrowed view of a string cell — no copy; aborts on non-string columns.
+  /// Valid until the table is mutated or destroyed.
+  std::string_view StringViewAt(size_t row, size_t col) const {
+    return StringColumn(col)[row];
+  }
 
   /// Materializes row `row` as dynamic values.
   Row GetRow(size_t row) const;

@@ -24,6 +24,7 @@ Result<Domain1D> Domain1D::Numeric(double lo, double hi, size_t bins) {
 
 size_t Domain1D::BinOf(double value) const {
   OSDP_CHECK(!categorical_);
+  if (std::isnan(value)) return 0;  // total function: NaN clamps like -inf
   if (value <= lo_) return 0;
   if (value >= hi_) return size_ - 1;
   const double width = (hi_ - lo_) / static_cast<double>(size_);

@@ -30,7 +30,8 @@ class Domain1D {
   bool is_categorical() const { return categorical_; }
 
   /// Bin index of a numeric value; values outside [lo, hi) clamp to the
-  /// nearest edge bin (standard histogram convention).
+  /// nearest edge bin (standard histogram convention). Total over all
+  /// doubles: NaN clamps to bin 0, so callers may index unchecked.
   size_t BinOf(double value) const;
 
   /// Bin index of a categorical code; aborts when out of range.

@@ -1,29 +1,47 @@
 #include "src/hist/histogram_query.h"
 
 #include "src/common/check.h"
+#include "src/data/compiled_predicate.h"
 
 namespace osdp {
 
 namespace {
 
-// Returns the bin of `row` in `column` under `domain`, reading the typed
-// column directly. String columns are not binnable.
-Result<size_t> BinOfRow(const Table& table, size_t col_idx,
-                        const Domain1D& domain, size_t row) {
-  const Field& field = table.schema().field(col_idx);
-  switch (field.type) {
-    case ValueType::kInt64: {
-      const int64_t v = table.Int64Column(col_idx)[row];
-      if (domain.is_categorical()) return domain.BinOfCategory(v);
-      return domain.BinOf(static_cast<double>(v));
+// Typed, pre-resolved binning closure for one column: the per-row type
+// dispatch and name resolution of the old BinOfRow, hoisted out of the scan.
+struct Binner {
+  const int64_t* i64 = nullptr;  // exactly one of i64/dbl is set
+  const double* dbl = nullptr;
+  const Domain1D* domain = nullptr;
+  bool categorical = false;
+
+  size_t Bin(size_t row) const {
+    if (i64 != nullptr) {
+      const int64_t v = i64[row];
+      return categorical ? domain->BinOfCategory(v)
+                         : domain->BinOf(static_cast<double>(v));
     }
-    case ValueType::kDouble: {
+    return domain->BinOf(dbl[row]);
+  }
+};
+
+Result<Binner> MakeBinner(const Table& table, size_t col_idx,
+                          const Domain1D& domain) {
+  const Field& field = table.schema().field(col_idx);
+  Binner b;
+  b.domain = &domain;
+  b.categorical = domain.is_categorical();
+  switch (field.type) {
+    case ValueType::kInt64:
+      b.i64 = table.Int64Column(col_idx).data();
+      return b;
+    case ValueType::kDouble:
       if (domain.is_categorical()) {
         return Status::InvalidArgument(
             "categorical domain over double column '" + field.name + "'");
       }
-      return domain.BinOf(table.DoubleColumn(col_idx)[row]);
-    }
+      b.dbl = table.DoubleColumn(col_idx).data();
+      return b;
     case ValueType::kString:
       return Status::InvalidArgument("cannot bin string column '" + field.name +
                                      "'");
@@ -31,29 +49,46 @@ Result<size_t> BinOfRow(const Table& table, size_t col_idx,
   return Status::Internal("unreachable");
 }
 
+// Compiles `where` (when present) and ANDs it into `mask`.
+Status ApplyWhere(const Table& table, const std::optional<Predicate>& where,
+                  RowMask* mask) {
+  if (!where) return Status::OK();
+  OSDP_ASSIGN_OR_RETURN(CompiledPredicate compiled,
+                        CompiledPredicate::Compile(*where, table.schema()));
+  mask->AndWith(compiled.EvalMask(table));
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<Histogram> ComputeHistogram(const Table& table,
                                    const HistogramQuery& query) {
-  std::vector<bool> mask(table.num_rows(), true);
-  return ComputeHistogramMasked(table, query, mask);
+  return ComputeHistogramMasked(table, query,
+                                RowMask(table.num_rows(), /*value=*/true));
+}
+
+Result<Histogram> ComputeHistogramMasked(const Table& table,
+                                         const HistogramQuery& query,
+                                         const RowMask& mask) {
+  if (mask.size() != table.num_rows()) {
+    return Status::InvalidArgument("mask size != table rows");
+  }
+  OSDP_ASSIGN_OR_RETURN(size_t col_idx, table.schema().FieldIndex(query.column));
+  OSDP_ASSIGN_OR_RETURN(Binner binner, MakeBinner(table, col_idx, query.domain));
+
+  RowMask selected = mask;
+  OSDP_RETURN_IF_ERROR(ApplyWhere(table, query.where, &selected));
+
+  Histogram out(query.domain.size());
+  std::vector<double>& counts = out.counts();
+  selected.ForEachSet([&](size_t row) { counts[binner.Bin(row)] += 1.0; });
+  return out;
 }
 
 Result<Histogram> ComputeHistogramMasked(const Table& table,
                                          const HistogramQuery& query,
                                          const std::vector<bool>& mask) {
-  if (mask.size() != table.num_rows()) {
-    return Status::InvalidArgument("mask size != table rows");
-  }
-  OSDP_ASSIGN_OR_RETURN(size_t col_idx, table.schema().FieldIndex(query.column));
-  Histogram out(query.domain.size());
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    if (!mask[row]) continue;
-    if (query.where && !query.where->Eval(table, row)) continue;
-    OSDP_ASSIGN_OR_RETURN(size_t bin, BinOfRow(table, col_idx, query.domain, row));
-    out.Add(bin);
-  }
-  return out;
+  return ComputeHistogramMasked(table, query, RowMask::FromBools(mask));
 }
 
 Result<Histogram2D> ComputeHistogram2D(const Table& table,
@@ -62,13 +97,18 @@ Result<Histogram2D> ComputeHistogram2D(const Table& table,
                         table.schema().FieldIndex(query.row_column));
   OSDP_ASSIGN_OR_RETURN(size_t col_idx,
                         table.schema().FieldIndex(query.col_column));
+  OSDP_ASSIGN_OR_RETURN(Binner row_binner,
+                        MakeBinner(table, row_idx, query.row_domain));
+  OSDP_ASSIGN_OR_RETURN(Binner col_binner,
+                        MakeBinner(table, col_idx, query.col_domain));
+
+  RowMask selected(table.num_rows(), /*value=*/true);
+  OSDP_RETURN_IF_ERROR(ApplyWhere(table, query.where, &selected));
+
   Histogram2D out(query.row_domain.size(), query.col_domain.size());
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    if (query.where && !query.where->Eval(table, row)) continue;
-    OSDP_ASSIGN_OR_RETURN(size_t r, BinOfRow(table, row_idx, query.row_domain, row));
-    OSDP_ASSIGN_OR_RETURN(size_t c, BinOfRow(table, col_idx, query.col_domain, row));
-    out.Add(r, c);
-  }
+  selected.ForEachSet([&](size_t row) {
+    out.Add(row_binner.Bin(row), col_binner.Bin(row));
+  });
   return out;
 }
 

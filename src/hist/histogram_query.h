@@ -1,6 +1,11 @@
 // Histogram queries over the Table substrate: the paper's
 //   SELECT group, COUNT(*) FROM table WHERE <condition> GROUP BY <keys>
 // with zero and non-zero groups both reported (Section 5).
+//
+// The masked evaluators are the x_ns hot path: the WHERE clause is compiled
+// once per call (CompiledPredicate), combined with the row mask word-wise,
+// and the binning inner loop runs over the typed column view of the grouped
+// column — no per-row name resolution or Value boxing.
 
 #ifndef OSDP_HIST_HISTOGRAM_QUERY_H_
 #define OSDP_HIST_HISTOGRAM_QUERY_H_
@@ -10,6 +15,7 @@
 
 #include "src/common/result.h"
 #include "src/data/predicate.h"
+#include "src/data/row_mask.h"
 #include "src/data/table.h"
 #include "src/hist/domain.h"
 #include "src/hist/histogram.h"
@@ -28,9 +34,18 @@ struct HistogramQuery {
 Result<Histogram> ComputeHistogram(const Table& table,
                                    const HistogramQuery& query);
 
-/// Evaluates the query over only the rows for which `mask[row]` is true.
-/// `mask` must have one entry per row. This is how OSDP mechanisms compute
-/// x_ns, the histogram over non-sensitive records.
+/// Evaluates the query over only the rows whose mask bit is set. `mask` must
+/// have one bit per row. This is how OSDP mechanisms compute x_ns, the
+/// histogram over non-sensitive records.
+///
+/// The query's shape (known columns, binnable column type, well-typed WHERE)
+/// is validated up front, independent of how many rows the mask selects: a
+/// malformed query errors even on an empty table or all-zero mask.
+Result<Histogram> ComputeHistogramMasked(const Table& table,
+                                         const HistogramQuery& query,
+                                         const RowMask& mask);
+
+/// Legacy bool-vector overload; converts and delegates to the RowMask form.
 Result<Histogram> ComputeHistogramMasked(const Table& table,
                                          const HistogramQuery& query,
                                          const std::vector<bool>& mask);

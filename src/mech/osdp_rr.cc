@@ -17,12 +17,12 @@ Result<std::vector<size_t>> OsdpRRSelect(const Table& table,
     return Status::InvalidArgument("epsilon must be positive");
   }
   const double p = OsdpRRReleaseProbability(epsilon);
+  // Batch-classify once, then draw one Bernoulli per non-sensitive row —
+  // the same coin sequence as the old row-at-a-time loop.
   std::vector<size_t> out;
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    if (policy.IsNonSensitive(table, row) && rng.NextBernoulli(p)) {
-      out.push_back(row);
-    }
-  }
+  policy.NonSensitiveRowMask(table).ForEachSet([&](size_t row) {
+    if (rng.NextBernoulli(p)) out.push_back(row);
+  });
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "src/mech/partitioned.h"
 
 #include "src/accounting/composition.h"
+#include "src/data/row_mask.h"
 #include "src/mech/osdp_laplace.h"
 
 namespace osdp {
@@ -22,17 +23,19 @@ Result<PartitionedRelease> PartitionedHistogramRelease(
     }
   }
 
-  const std::vector<bool> ns_mask = policy.NonSensitiveMask(table);
+  const RowMask ns_mask = policy.NonSensitiveRowMask(table);
   PartitionedRelease out;
   out.partitions.reserve(opts.num_partitions);
   CompositionLedger ledger;
   for (size_t part = 0; part < opts.num_partitions; ++part) {
-    // Mask: non-sensitive rows of this partition only.
-    std::vector<bool> mask(table.num_rows(), false);
+    // Mask: non-sensitive rows of this partition only, built from the
+    // (already range-checked) key column. One num_rows-bit mask lives at a
+    // time, so memory stays O(num_rows) for any partition count.
+    RowMask mask(table.num_rows());
     for (size_t row = 0; row < table.num_rows(); ++row) {
-      mask[row] =
-          ns_mask[row] && static_cast<size_t>((*keys)[row]) == part;
+      if (static_cast<size_t>((*keys)[row]) == part) mask.Set(row);
     }
+    mask.AndWith(ns_mask);
     OSDP_ASSIGN_OR_RETURN(Histogram xns,
                           ComputeHistogramMasked(table, query, mask));
     OSDP_ASSIGN_OR_RETURN(

@@ -23,28 +23,47 @@ bool Policy::IsSensitive(const Schema& schema, const Row& record) const {
   return sensitive_.Eval(schema, record);
 }
 
-std::vector<bool> Policy::NonSensitiveMask(const Table& table) const {
-  std::vector<bool> mask(table.num_rows());
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    mask[r] = IsNonSensitive(table, r);
+std::shared_ptr<const CompiledPredicate> Policy::CompiledFor(
+    const Schema& schema) const {
+  std::shared_ptr<const CompiledPredicate> cached = compiled_cache_;
+  if (cached == nullptr || !(cached->schema() == schema)) {
+    Result<CompiledPredicate> compiled =
+        CompiledPredicate::Compile(sensitive_, schema);
+    OSDP_CHECK_MSG(compiled.ok(), "policy '" << name_
+                                             << "' does not type-check: "
+                                             << compiled.status().ToString());
+    cached = std::make_shared<const CompiledPredicate>(
+        std::move(compiled).ValueOrDie());
+    compiled_cache_ = cached;
   }
+  return cached;
+}
+
+RowMask Policy::SensitiveMask(const Table& table) const {
+  return CompiledFor(table.schema())->EvalMask(table);
+}
+
+RowMask Policy::NonSensitiveRowMask(const Table& table) const {
+  RowMask mask = SensitiveMask(table);
+  mask.FlipAll();
   return mask;
 }
 
 double Policy::NonSensitiveFraction(const Table& table) const {
   if (table.num_rows() == 0) return 0.0;
-  size_t ns = 0;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    ns += IsNonSensitive(table, r) ? 1 : 0;
-  }
+  const size_t ns = table.num_rows() - SensitiveMask(table).Count();
   return static_cast<double>(ns) / static_cast<double>(table.num_rows());
 }
 
 std::pair<std::vector<size_t>, std::vector<size_t>> Policy::PartitionRows(
     const Table& table) const {
+  const RowMask mask = SensitiveMask(table);
   std::vector<size_t> sensitive, non_sensitive;
+  const size_t num_sensitive = mask.Count();
+  sensitive.reserve(num_sensitive);
+  non_sensitive.reserve(table.num_rows() - num_sensitive);
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    (IsSensitive(table, r) ? sensitive : non_sensitive).push_back(r);
+    (mask.Test(r) ? sensitive : non_sensitive).push_back(r);
   }
   return {std::move(sensitive), std::move(non_sensitive)};
 }
@@ -69,13 +88,8 @@ Policy Policy::MinimumRelaxation(const std::vector<Policy>& policies) {
 
 bool Policy::IsRelaxationOfOn(const Policy& stricter, const Table& table) const {
   // `this` ⪯ stricter ⟺ for all rows: this.P(r) >= stricter.P(r)
-  // ⟺ no row is sensitive under `this` but non-sensitive under `stricter`.
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    if (IsSensitive(table, r) && stricter.IsNonSensitive(table, r)) {
-      return false;
-    }
-  }
-  return true;
+  // ⟺ every row sensitive under `this` is sensitive under `stricter`.
+  return SensitiveMask(table).IsSubsetOf(stricter.SensitiveMask(table));
 }
 
 }  // namespace osdp

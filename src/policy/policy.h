@@ -5,11 +5,14 @@
 #ifndef OSDP_POLICY_POLICY_H_
 #define OSDP_POLICY_POLICY_H_
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/data/compiled_predicate.h"
 #include "src/data/predicate.h"
+#include "src/data/row_mask.h"
 #include "src/data/table.h"
 
 namespace osdp {
@@ -20,6 +23,11 @@ namespace osdp {
 /// complement of the paper's P (which returns 1 for non-sensitive records).
 /// Keeping the sensitive side primary makes the minimum-relaxation algebra
 /// (AND of sensitive predicates) read directly off Definition 3.6.
+///
+/// Whole-table classification (SensitiveMask and everything built on it)
+/// compiles the predicate against the table's schema on first use and caches
+/// the compiled form, so repeated scans of the same dataset pay the
+/// name-resolution and type-dispatch cost exactly once.
 class Policy {
  public:
   /// Policy whose sensitive records are exactly those matching `pred`.
@@ -44,8 +52,17 @@ class Policy {
   }
   /// @}
 
-  /// mask[row] = true iff row is non-sensitive (the release-eligible subset).
-  std::vector<bool> NonSensitiveMask(const Table& table) const;
+  /// mask bit set iff the row is sensitive (batch classification; compiled
+  /// predicate, column-at-a-time).
+  RowMask SensitiveMask(const Table& table) const;
+
+  /// mask bit set iff the row is non-sensitive (the release-eligible subset).
+  RowMask NonSensitiveRowMask(const Table& table) const;
+
+  /// Legacy bool-vector form of NonSensitiveRowMask.
+  std::vector<bool> NonSensitiveMask(const Table& table) const {
+    return NonSensitiveRowMask(table).ToBools();
+  }
 
   /// Fraction of non-sensitive rows (the paper's ρ); 0 for empty tables.
   double NonSensitiveFraction(const Table& table) const;
@@ -78,8 +95,20 @@ class Policy {
   Policy(Predicate sensitive, std::string name)
       : sensitive_(std::move(sensitive)), name_(std::move(name)) {}
 
+  /// The sensitivity predicate compiled for `schema`, cached. Returned by
+  /// shared_ptr so the program stays alive even if the one-slot cache is
+  /// swapped for a different schema. Aborts if the predicate does not
+  /// type-check against the schema — the same contract as the row-at-a-time
+  /// evaluator (wrong-schema policy = programming error).
+  std::shared_ptr<const CompiledPredicate> CompiledFor(
+      const Schema& schema) const;
+
   Predicate sensitive_;
   std::string name_;
+  // One-slot cache keyed by schema; copies of a Policy share it. Immutable
+  // once built (the slot is swapped, never mutated), so sharing is safe in
+  // the library's single-threaded usage.
+  mutable std::shared_ptr<const CompiledPredicate> compiled_cache_;
 };
 
 }  // namespace osdp

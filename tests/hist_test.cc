@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/common/check.h"
 
 #include "src/common/random.h"
@@ -199,7 +201,27 @@ TEST(HistogramQueryTest, MaskSelectsRows) {
 TEST(HistogramQueryTest, MaskSizeValidated) {
   Table t = AgeTable();
   HistogramQuery q{"age", *Domain1D::Numeric(0, 100, 4), std::nullopt};
-  EXPECT_FALSE(ComputeHistogramMasked(t, q, {true}).ok());
+  EXPECT_FALSE(ComputeHistogramMasked(t, q, std::vector<bool>{true}).ok());
+  EXPECT_FALSE(ComputeHistogramMasked(t, q, RowMask(1)).ok());
+}
+
+TEST(HistogramQueryTest, NanBinsIntoEdgeBin) {
+  Table t(Schema({{"x", ValueType::kDouble}}));
+  OSDP_CHECK(t.AppendRow({Value(std::nan(""))}).ok());
+  OSDP_CHECK(t.AppendRow({Value(50.0)}).ok());
+  HistogramQuery q{"x", *Domain1D::Numeric(0, 100, 4), std::nullopt};
+  Histogram h = *ComputeHistogram(t, q);
+  EXPECT_DOUBLE_EQ(h[0], 1.0);  // NaN clamps to bin 0, no UB / OOB write
+  EXPECT_DOUBLE_EQ(h[2], 1.0);
+  EXPECT_DOUBLE_EQ(h.Total(), 2.0);
+}
+
+TEST(HistogramQueryTest, MalformedQueryErrorsEvenWithEmptyMask) {
+  // Query shape is validated up front, independent of row selection: binning
+  // a string column fails even when the mask selects no rows at all.
+  Table t = AgeTable();
+  HistogramQuery q{"city", *Domain1D::Numeric(0, 100, 4), std::nullopt};
+  EXPECT_FALSE(ComputeHistogramMasked(t, q, RowMask(t.num_rows())).ok());
 }
 
 TEST(HistogramQueryTest, CategoricalOverInt) {

@@ -1,0 +1,120 @@
+// Tests for src/data/row_mask.h: the packed bitmap of the scan layer.
+
+#include "src/data/row_mask.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace osdp {
+namespace {
+
+TEST(RowMaskTest, ConstructAllClearAndAllSet) {
+  RowMask clear(130);
+  EXPECT_EQ(clear.size(), 130u);
+  EXPECT_EQ(clear.Count(), 0u);
+  RowMask set(130, true);
+  EXPECT_EQ(set.Count(), 130u);
+  EXPECT_TRUE(set.Test(0));
+  EXPECT_TRUE(set.Test(129));
+}
+
+TEST(RowMaskTest, SetTestAndCount) {
+  RowMask m(100);
+  m.Set(0);
+  m.Set(63);
+  m.Set(64);
+  m.Set(99);
+  EXPECT_EQ(m.Count(), 4u);
+  EXPECT_TRUE(m.Test(63));
+  EXPECT_FALSE(m.Test(62));
+  m.Set(63, false);
+  EXPECT_EQ(m.Count(), 3u);
+}
+
+TEST(RowMaskTest, TailBitsStayZeroAcrossMutators) {
+  // 70 rows -> 2 words, 58 tail bits that must never leak into Count().
+  RowMask m(70);
+  m.SetAll(true);
+  EXPECT_EQ(m.Count(), 70u);
+  m.FlipAll();
+  EXPECT_EQ(m.Count(), 0u);
+  m.FlipAll();
+  EXPECT_EQ(m.Count(), 70u);
+}
+
+TEST(RowMaskTest, LogicalCombination) {
+  RowMask a(80), b(80);
+  for (size_t i = 0; i < 80; i += 2) a.Set(i);  // evens
+  for (size_t i = 0; i < 80; i += 3) b.Set(i);  // multiples of 3
+  RowMask both = a;
+  both.AndWith(b);
+  EXPECT_EQ(both.Count(), 80u / 6 + 1);  // multiples of 6 in [0, 80)
+  RowMask either = a;
+  either.OrWith(b);
+  EXPECT_EQ(either.Count(), 40u + 27u - 14u);
+  RowMask diff = a;
+  diff.AndNotWith(b);
+  EXPECT_EQ(diff.Count(), 40u - 14u);
+}
+
+TEST(RowMaskTest, IntersectsAndSubset) {
+  RowMask a(80), b(80), c(80);
+  a.Set(5);
+  a.Set(70);
+  b.Set(70);
+  c.Set(12);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(RowMask(80).IsSubsetOf(a));   // empty set is a subset
+  EXPECT_FALSE(RowMask(80).Intersects(a));  // and intersects nothing
+}
+
+TEST(RowMaskTest, ForEachSetAscendingAndSparse) {
+  RowMask m(200);
+  const std::vector<size_t> rows = {0, 1, 63, 64, 65, 127, 128, 199};
+  for (size_t r : rows) m.Set(r);
+  std::vector<size_t> seen;
+  m.ForEachSet([&](size_t r) { seen.push_back(r); });
+  EXPECT_EQ(seen, rows);
+  EXPECT_EQ(m.ToIndices(), rows);
+}
+
+TEST(RowMaskTest, BoolsRoundTrip) {
+  Rng rng(42);
+  std::vector<bool> bools(137);
+  for (size_t i = 0; i < bools.size(); ++i) bools[i] = rng.NextBernoulli(0.3);
+  RowMask m = RowMask::FromBools(bools);
+  EXPECT_EQ(m.ToBools(), bools);
+  size_t expected = 0;
+  for (bool b : bools) expected += b ? 1 : 0;
+  EXPECT_EQ(m.Count(), expected);
+}
+
+TEST(RowMaskTest, EqualityAndEmpty) {
+  EXPECT_TRUE(RowMask().empty());
+  RowMask a(65), b(65);
+  EXPECT_EQ(a, b);
+  a.Set(64);
+  EXPECT_NE(a, b);
+  b.Set(64);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(RowMask(64), RowMask(65));
+}
+
+TEST(RowMaskTest, ZeroRows) {
+  RowMask m(0);
+  EXPECT_EQ(m.Count(), 0u);
+  m.SetAll(true);
+  EXPECT_EQ(m.Count(), 0u);
+  m.FlipAll();
+  EXPECT_EQ(m.Count(), 0u);
+  size_t calls = 0;
+  m.ForEachSet([&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+}
+
+}  // namespace
+}  // namespace osdp
