@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/common/check.h"
 
@@ -10,14 +11,23 @@ namespace osdp {
 double SampleLaplace(Rng& rng, double b) {
   OSDP_CHECK(b > 0.0);
   // Inverse CDF: u uniform in (-1/2, 1/2]; x = -b * sgn(u) * ln(1 - 2|u|).
+  // NextDoublePositive() returns exactly 1.0 with probability 2⁻⁵³, which
+  // would drive the ln argument to 0 and the sample to +∞ — reachable at the
+  // billions-of-draws bench scale. Treat that topmost lattice cell as its
+  // width-2⁻⁵³ half-open neighbourhood instead: the magnitude is then capped
+  // at 53·ln2·b ≈ 36.7b, so every Rng output yields a finite sample.
   const double u = rng.NextDoublePositive() - 0.5;
-  const double mag = -b * std::log(1.0 - 2.0 * std::abs(u));
+  const double inner = std::max(1.0 - 2.0 * std::abs(u), 0x1.0p-53);
+  const double mag = -b * std::log(inner);
   return u >= 0 ? mag : -mag;
 }
 
 double SampleExponential(Rng& rng, double b) {
   OSDP_CHECK(b > 0.0);
-  return -b * std::log(rng.NextDoublePositive());
+  // u ∈ (0,1] keeps the log finite: |x| <= 53·ln2·b. The u = 1.0 boundary
+  // yields -b·log(1) = -0.0; adding +0.0 normalizes the sign so callers
+  // never observe a negative-zero "exponential" draw.
+  return -b * std::log(rng.NextDoublePositive()) + 0.0;
 }
 
 double SampleOneSidedLaplace(Rng& rng, double b) {
@@ -76,7 +86,14 @@ int64_t SampleGeometric(Rng& rng, double p) {
   OSDP_CHECK(p > 0.0 && p <= 1.0);
   if (p == 1.0) return 0;
   const double u = rng.NextDoublePositive();
-  return static_cast<int64_t>(std::floor(std::log(u) / std::log1p(-p)));
+  const double k = std::floor(std::log(u) / std::log1p(-p));
+  // Sibling edge of the Laplace boundary: for tiny p the quotient can exceed
+  // int64 range (log(2⁻⁵³)/log1p(-p) ≈ 36.7/p), and casting an
+  // out-of-range double to int64 is undefined behaviour. Saturate instead.
+  if (k >= static_cast<double>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return static_cast<int64_t>(k);
 }
 
 size_t SampleDiscrete(Rng& rng, const std::vector<double>& weights) {

@@ -20,9 +20,13 @@
 namespace osdp {
 
 /// \brief Draws from the zero-mean Laplace distribution with scale `b`.
+/// Finite for every Rng output: |x| <= 53·ln2·b (the generator's (0,1]
+/// lattice has spacing 2⁻⁵³, and the boundary draw u = 1.0 is clamped to the
+/// adjacent cell rather than mapped to ±∞).
 double SampleLaplace(Rng& rng, double b);
 
 /// \brief Draws from the exponential distribution with scale `b` (mean `b`).
+/// Finite and non-negative (never -0.0) for every Rng output: x <= 53·ln2·b.
 double SampleExponential(Rng& rng, double b);
 
 /// \brief Draws from the one-sided Laplace distribution Lap^-(b): the mirrored

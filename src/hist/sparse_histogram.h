@@ -62,7 +62,9 @@ class SparseHistogram {
 };
 
 /// \brief Encodes an n-gram over a base-`alphabet` symbol space as a uint64
-/// cell id. Requires alphabet^n to fit in 64 bits (64^5 ≈ 2^30 does easily).
+/// cell id. Requires alphabet^n to fit in 64 bits (64^5 ≈ 2^30 does easily);
+/// an encoding that would wrap uint64 — aliasing distinct n-grams onto one
+/// cell — aborts via OSDP_CHECK instead of silently truncating.
 uint64_t EncodeNGram(const std::vector<int>& symbols, int alphabet);
 
 /// Inverse of EncodeNGram given the n-gram length.

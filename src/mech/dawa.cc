@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/common/distributions.h"
+#include "src/mech/interval_costs.h"
 
 namespace osdp {
 
@@ -13,10 +14,35 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// The interval-cost engine makes kEvery affordable well past the old 512-bin
+// cutoff; above this the candidate set is thinned to kHalfOverlap so the DP
+// itself (d·log d candidates) stays cheap inside multi-rep benches.
+constexpr size_t kAutoEveryMaxDomain = 4096;
+
+// Below this domain size the naive scan's tight loop beats the engine's
+// O(d log² d) build, so kAuto sticks with the reference implementation.
+constexpr size_t kAutoEngineMinDomain = 1024;
+
 // Resolves kAuto to a concrete strategy for a d-bin domain.
 DawaPositions ResolvePositions(DawaPositions positions, size_t d) {
   if (positions != DawaPositions::kAuto) return positions;
-  return d <= 512 ? DawaPositions::kEvery : DawaPositions::kHalfOverlap;
+  return d <= kAutoEveryMaxDomain ? DawaPositions::kEvery
+                                  : DawaPositions::kHalfOverlap;
+}
+
+// Resolves kAuto to a concrete cost implementation. The engine pays off when
+// the DP would otherwise scan every start position of a large domain; under
+// kHalfOverlap the naive total work is already O(d log d), so it stays.
+bool UseCostEngine(DawaCostImpl impl, DawaPositions resolved, size_t d) {
+  switch (impl) {
+    case DawaCostImpl::kNaive:
+      return false;
+    case DawaCostImpl::kEngine:
+      return true;
+    case DawaCostImpl::kAuto:
+      return resolved == DawaPositions::kEvery && d >= kAutoEngineMinDomain;
+  }
+  return false;
 }
 
 // Start-position step for intervals of length `len` under `positions`.
@@ -38,8 +64,8 @@ double L1DeviationFromMean(const std::vector<double>& x, size_t begin,
 // have power-of-two lengths with start positions aligned to PositionStep.
 // best[j] = min cost of partitioning prefix [0, j).
 template <typename CostFn>
-std::vector<DawaBucket> PartitionDP(size_t d, DawaPositions positions,
-                                    const CostFn& cost) {
+L1PartitionSolution PartitionDP(size_t d, DawaPositions positions,
+                                const CostFn& cost) {
   std::vector<double> best(d + 1, kInf);
   std::vector<size_t> back(d + 1, 0);  // begin of the last bucket
   best[0] = 0.0;
@@ -58,28 +84,57 @@ std::vector<DawaBucket> PartitionDP(size_t d, DawaPositions positions,
     // Length-1 intervals are always allowed, so every prefix is reachable.
     OSDP_CHECK(best[end] < kInf);
   }
-  std::vector<DawaBucket> buckets;
+  L1PartitionSolution solution;
+  solution.cost = best[d];
   for (size_t end = d; end > 0; end = back[end]) {
-    buckets.push_back({back[end], end});
+    solution.buckets.push_back({back[end], end});
   }
-  std::reverse(buckets.begin(), buckets.end());
-  return buckets;
+  std::reverse(solution.buckets.begin(), solution.buckets.end());
+  return solution;
 }
 
-}  // namespace
-
-std::vector<DawaBucket> OptimalL1Partition(const std::vector<double>& x,
-                                           double bucket_charge,
-                                           DawaPositions positions) {
-  OSDP_CHECK(!x.empty());
+// Runs the partition DP over `x` with the resolved position mode and cost
+// implementation; `dev_cost(dev, len)` maps an interval's L1 deviation to its
+// bucket cost. Single dispatch point for both the clean (OptimalL1Partition)
+// and the noisy-debiased (Dawa stage 1) objectives, so the reference and
+// engine paths cannot drift apart per call site.
+template <typename DevCostFn>
+L1PartitionSolution SolveWithImpl(const std::vector<double>& x,
+                                  DawaPositions pos, DawaCostImpl impl,
+                                  const DevCostFn& dev_cost) {
   const size_t d = x.size();
-  const DawaPositions pos = ResolvePositions(positions, d);
+  if (UseCostEngine(impl, pos, d)) {
+    const IntervalCostEngine engine(x);
+    return PartitionDP(d, pos, [&](size_t begin, size_t end) {
+      return dev_cost(engine.Deviation(begin, end), end - begin);
+    });
+  }
   std::vector<double> prefix(d + 1, 0.0);
   for (size_t i = 0; i < d; ++i) prefix[i + 1] = prefix[i] + x[i];
   return PartitionDP(d, pos, [&](size_t begin, size_t end) {
     const double sum = prefix[end] - prefix[begin];
-    return L1DeviationFromMean(x, begin, end, sum) + bucket_charge;
+    return dev_cost(L1DeviationFromMean(x, begin, end, sum), end - begin);
   });
+}
+
+}  // namespace
+
+L1PartitionSolution SolveL1Partition(const std::vector<double>& x,
+                                     double bucket_charge,
+                                     DawaPositions positions,
+                                     DawaCostImpl impl) {
+  OSDP_CHECK(!x.empty());
+  const DawaPositions pos = ResolvePositions(positions, x.size());
+  return SolveWithImpl(x, pos, impl, [&](double dev, size_t) {
+    return dev + bucket_charge;
+  });
+}
+
+std::vector<DawaBucket> OptimalL1Partition(const std::vector<double>& x,
+                                           double bucket_charge,
+                                           DawaPositions positions,
+                                           DawaCostImpl impl) {
+  return SolveL1Partition(x, bucket_charge, positions, impl).buckets;
 }
 
 Result<DawaResult> Dawa(const Histogram& x, double epsilon,
@@ -104,23 +159,20 @@ Result<DawaResult> Dawa(const Histogram& x, double epsilon,
   for (size_t i = 0; i < d; ++i) {
     noisy[i] = x[i] + SampleLaplace(rng, stage1_scale);
   }
-  std::vector<double> prefix(d + 1, 0.0);
-  for (size_t i = 0; i < d; ++i) prefix[i + 1] = prefix[i] + noisy[i];
-
   // Bucket cost on the noisy data, debiased: Lap(b) noise inflates the L1
   // deviation of a len-bin interval by ≈ len·E|Lap(b)| = len·b, so subtract
   // it (clamped at zero). Each bucket then pays the stage-2 noise charge
-  // E|Lap(2/ε₂)| = 2/ε₂ regardless of its width.
+  // E|Lap(2/ε₂)| = 2/ε₂ regardless of its width. The debias term is O(1) per
+  // interval, so the deviation source (engine table or naive scan) is the
+  // whole per-candidate cost.
   const double noise_dev_per_bin = stage1_scale;
   const double bucket_charge = 2.0 / eps2;
-  auto cost = [&](size_t begin, size_t end) {
-    const double sum = prefix[end] - prefix[begin];
-    const double dev = L1DeviationFromMean(noisy, begin, end, sum);
-    const double debiased =
-        std::max(0.0, dev - static_cast<double>(end - begin) * noise_dev_per_bin);
-    return debiased + bucket_charge;
-  };
-  std::vector<DawaBucket> buckets = PartitionDP(d, pos, cost);
+  std::vector<DawaBucket> buckets =
+      SolveWithImpl(noisy, pos, opts.cost_impl, [&](double dev, size_t len) {
+        return std::max(0.0,
+                        dev - static_cast<double>(len) * noise_dev_per_bin) +
+               bucket_charge;
+      }).buckets;
 
   // ---- Stage 2: ε₂-DP bucket totals, spread uniformly. ----
   // One record change moves one unit between two buckets at most, so the

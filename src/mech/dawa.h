@@ -15,10 +15,15 @@
 //  with Lap(2/ε₂) and spread uniformly across the bucket's bins.
 //
 // Candidate intervals have power-of-two lengths; start positions are either
-// every bin (exact, O(d²)) or multiples of len/2 (half-overlapping,
-// O(d log d)) — the latter is the default above 512 bins so the DPBench
-// sweeps stay fast. Both stages together satisfy ε-DP by sequential
-// composition; the partition DP is post-processing of the stage-1 release.
+// every bin (kEvery) or multiples of len/2 (kHalfOverlap). Interval costs
+// come from one of two implementations: the naive per-interval scan (O(len)
+// per candidate, O(d²) total under kEvery — kept as the reference
+// implementation) or the precomputed interval-cost engine
+// (src/mech/interval_costs.h: O(d log² d) build, O(1) per candidate), which
+// makes kEvery affordable up to large domains; kAuto position resolution
+// switches to kHalfOverlap only above 4096 bins now that the engine carries
+// kEvery. Both stages together satisfy ε-DP by sequential composition; the
+// partition DP is post-processing of the stage-1 release.
 //
 // Behavioural shape preserved from the original: few buckets (low noise) on
 // smooth/sorted data such as Nettrace, many buckets (≈ Laplace at 0.75ε) on
@@ -39,9 +44,16 @@ namespace osdp {
 
 /// How candidate interval start positions are enumerated.
 enum class DawaPositions {
-  kAuto = 0,         ///< kEvery for d <= 512 bins, kHalfOverlap above
-  kEvery = 1,        ///< every start position (O(d²) cost computation)
-  kHalfOverlap = 2,  ///< starts at multiples of len/2 (O(d log d))
+  kAuto = 0,         ///< kEvery for d <= 4096 bins, kHalfOverlap above
+  kEvery = 1,        ///< every start position (exact DP over all candidates)
+  kHalfOverlap = 2,  ///< starts at multiples of len/2 (fewer candidates)
+};
+
+/// How candidate interval costs are evaluated inside the partition DP.
+enum class DawaCostImpl {
+  kAuto = 0,    ///< engine for kEvery at d >= 1024, naive otherwise
+  kNaive = 1,   ///< per-interval O(len) scan — the reference implementation
+  kEngine = 2,  ///< precomputed IntervalCostEngine, O(1) per candidate
 };
 
 /// Parameters of DAWA.
@@ -50,6 +62,8 @@ struct DawaOptions {
   double partition_budget_ratio = 0.25;
   /// Candidate-interval enumeration strategy.
   DawaPositions positions = DawaPositions::kAuto;
+  /// Interval-cost evaluation strategy for the partition DP.
+  DawaCostImpl cost_impl = DawaCostImpl::kAuto;
   /// Clamp negative bin estimates to zero (post-processing).
   bool clamp_non_negative = true;
 };
@@ -78,13 +92,28 @@ Result<DawaResult> Dawa(const Histogram& x, double epsilon, Rng& rng);
 /// The guarantee of a DAWA release (DP; φ = ε by Theorem 3.1).
 PrivacyGuarantee DawaGuarantee(double epsilon);
 
-/// \brief The non-private optimal L1 partition of `x` given a per-bucket
-/// noise charge; exposed for tests and the partitioning ablation bench.
+/// The partition DP's full answer: the buckets plus the optimal objective
+/// value Σ_B [ dev(B) + bucket_charge ], exposed so the property tests can
+/// pin the engine and naive implementations bit-identical on both.
+struct L1PartitionSolution {
+  std::vector<DawaBucket> buckets;
+  double cost;
+};
+
+/// \brief Solves the non-private optimal L1 partition of `x` given a
+/// per-bucket noise charge, with an explicit cost-implementation choice;
+/// exposed for tests and the partition bench (bench/bench_dawa_partition.cc).
 /// Minimizes Σ_B [ Σ_{i∈B}|x_i - mean(B)| + bucket_charge ] over partitions
 /// into power-of-two-length intervals with the given position strategy.
-std::vector<DawaBucket> OptimalL1Partition(const std::vector<double>& x,
-                                           double bucket_charge,
-                                           DawaPositions positions);
+L1PartitionSolution SolveL1Partition(const std::vector<double>& x,
+                                     double bucket_charge,
+                                     DawaPositions positions,
+                                     DawaCostImpl impl);
+
+/// \brief The buckets of SolveL1Partition (convenience wrapper).
+std::vector<DawaBucket> OptimalL1Partition(
+    const std::vector<double>& x, double bucket_charge, DawaPositions positions,
+    DawaCostImpl impl = DawaCostImpl::kAuto);
 
 }  // namespace osdp
 

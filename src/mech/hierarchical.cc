@@ -104,15 +104,31 @@ Result<TwoPhaseMechanism::Output> HierarchicalRelease(
     variance[idx] = own_var * child_var / (own_var + child_var);
   }
 
-  // Downward pass: distribute each node's residual equally to its children.
+  // Downward pass: distribute each node's residual across its children.
+  // The GLS projection onto Σ children = parent corrects each child
+  // proportionally to its subtree variance (noisier children absorb more of
+  // the discrepancy); with equal child variances — every balanced tree —
+  // this reduces to the equal split, which is kept as a reference option.
   for (size_t idx = 0; idx < arena.size(); ++idx) {
     Node& node = arena[idx];
     if (node.children.empty()) continue;
     double child_sum = 0.0;
-    for (size_t c : node.children) child_sum += arena[c].estimate;
-    const double residual = (node.estimate - child_sum) /
-                            static_cast<double>(node.children.size());
-    for (size_t c : node.children) arena[c].estimate += residual;
+    double var_sum = 0.0;
+    for (size_t c : node.children) {
+      child_sum += arena[c].estimate;
+      var_sum += variance[c];
+    }
+    const double residual = node.estimate - child_sum;
+    if (opts.residual_split == ResidualSplit::kVarianceWeighted &&
+        var_sum > 0.0) {
+      for (size_t c : node.children) {
+        arena[c].estimate += residual * (variance[c] / var_sum);
+      }
+    } else {
+      const double share =
+          residual / static_cast<double>(node.children.size());
+      for (size_t c : node.children) arena[c].estimate += share;
+    }
   }
 
   Histogram estimate(d);

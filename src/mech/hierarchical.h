@@ -12,7 +12,13 @@
 //     optimal convex combination of its own noisy count and the sum of its
 //     children's estimates;
 //   * downward pass: the residual between a node's final estimate and its
-//     children's sum is split equally among the children.
+//     children's sum is distributed across the children proportionally to
+//     their (post-upward) subtree variances — the GLS projection onto the
+//     consistency constraint. An equal split is only variance-optimal when
+//     all children have equal variance (perfectly balanced subtrees); on
+//     non-power-of-fanout domains the subtrees are unbalanced, shallow
+//     children carry less variance, and the weighted split strictly lowers
+//     leaf error. The equal split is kept as a reference option.
 // Leaves form the released histogram.
 
 #ifndef OSDP_MECH_HIERARCHICAL_H_
@@ -27,10 +33,20 @@
 
 namespace osdp {
 
+/// How the downward consistency pass splits a node's residual.
+enum class ResidualSplit {
+  kVarianceWeighted = 0,  ///< proportional to child subtree variance (optimal)
+  kEqual = 1,             ///< equal shares — reference; optimal only when balanced
+};
+
 /// Parameters of the hierarchical mechanism.
 struct HierarchicalOptions {
   int fanout = 4;                 ///< tree arity (Hay et al. recommend ~4-16)
   bool clamp_non_negative = true; ///< clamp leaf estimates at zero
+  /// Residual distribution rule of the downward pass. Identical results on
+  /// perfectly balanced trees; kVarianceWeighted is strictly better when the
+  /// domain size is not a power of the fanout.
+  ResidualSplit residual_split = ResidualSplit::kVarianceWeighted;
 };
 
 /// \brief Runs the hierarchical mechanism on `x` under ε-DP. The exposed

@@ -1,0 +1,110 @@
+#include "src/mech/interval_costs.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace osdp {
+
+namespace {
+
+// Fenwick (binary indexed) tree over the compressed value universe, holding
+// the current window's element count and element sum per distinct value.
+// Prefix(r) answers "how many window elements have value < the r-th distinct
+// value, and what do they sum to" in O(log u).
+class WindowIndex {
+ public:
+  explicit WindowIndex(size_t universe)
+      : count_(universe + 1, 0), sum_(universe + 1, 0.0) {}
+
+  void Add(size_t rank, double value) { Update(rank, +1, value); }
+  void Remove(size_t rank, double value) { Update(rank, -1, -value); }
+
+  // Count and sum of window elements with compressed rank < r.
+  void Prefix(size_t r, int64_t* count, double* sum) const {
+    int64_t c = 0;
+    double s = 0.0;
+    for (; r > 0; r &= r - 1) {
+      c += count_[r];
+      s += sum_[r];
+    }
+    *count = c;
+    *sum = s;
+  }
+
+ private:
+  void Update(size_t rank, int64_t dcount, double dsum) {
+    for (size_t i = rank + 1; i < count_.size(); i += i & (0 - i)) {
+      count_[i] += dcount;
+      sum_[i] += dsum;
+    }
+  }
+
+  std::vector<int64_t> count_;
+  std::vector<double> sum_;
+};
+
+}  // namespace
+
+IntervalCostEngine::IntervalCostEngine(const std::vector<double>& x) {
+  OSDP_CHECK(!x.empty());
+  d_ = x.size();
+  prefix_.assign(d_ + 1, 0.0);
+  for (size_t i = 0; i < d_; ++i) prefix_[i + 1] = prefix_[i] + x[i];
+
+  // Coordinate-compress the value universe.
+  std::vector<double> values(x);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  std::vector<uint32_t> rank(d_);
+  for (size_t i = 0; i < d_; ++i) {
+    rank[i] = static_cast<uint32_t>(
+        std::lower_bound(values.begin(), values.end(), x[i]) - values.begin());
+  }
+
+  size_t levels = 0;
+  while ((size_t{2} << levels) <= d_) ++levels;  // max k with 2^k <= d
+  dev_.resize(levels + 1);
+
+  // Bottom-up per-length sweep: slide the length-2^k window across all
+  // starts, maintaining the window's order statistics incrementally.
+  for (size_t k = 1; k <= levels; ++k) {
+    const size_t len = size_t{1} << k;
+    dev_[k].resize(d_ - len + 1);
+    WindowIndex window(values.size());
+    for (size_t i = 0; i < len; ++i) window.Add(rank[i], x[i]);
+    for (size_t b = 0;; ++b) {
+      const double sum = prefix_[b + len] - prefix_[b];
+      // len is a power of two, so this division is exact (mean is dyadic
+      // whenever sum is integer) — the key to bit-identical costs.
+      const double mean = sum / static_cast<double>(len);
+      const size_t below =
+          static_cast<size_t>(std::lower_bound(values.begin(), values.end(),
+                                               mean) -
+                              values.begin());
+      int64_t r = 0;
+      double sum_below = 0.0;
+      window.Prefix(below, &r, &sum_below);
+      const double rd = static_cast<double>(r);
+      const double nd = static_cast<double>(len);
+      dev_[k][b] = (mean * rd - sum_below) +
+                   ((sum - sum_below) - mean * (nd - rd));
+      if (b + len >= d_) break;
+      window.Remove(rank[b], x[b]);
+      window.Add(rank[b + len], x[b + len]);
+    }
+  }
+}
+
+double IntervalCostEngine::Deviation(size_t begin, size_t end) const {
+  OSDP_DCHECK(begin < end && end <= d_);
+  const size_t len = end - begin;
+  OSDP_DCHECK((len & (len - 1)) == 0);
+  if (len == 1) return 0.0;
+  // len is a power of two, so its level is its bit index — keeps the hot DP
+  // query a genuine O(1) lookup.
+  const int k = __builtin_ctzll(static_cast<unsigned long long>(len));
+  return dev_[static_cast<size_t>(k)][begin];
+}
+
+}  // namespace osdp

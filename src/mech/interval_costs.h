@@ -1,0 +1,74 @@
+// Interval-cost engine for the DAWA L1 partition (Li et al., PVLDB 2014).
+//
+// The partition dynamic program asks, for every candidate interval [b, b+2^k),
+// for its clustering cost Σ_{i∈[b,b+2^k)} |x_i - mean| — the L1 deviation from
+// the interval mean. Evaluating that sum directly is O(len) per interval,
+// which makes the DP O(d²) in the kEvery position mode (the remaining hot
+// spot ROADMAP.md calls out). This engine precomputes the deviation of every
+// power-of-two-length interval at every start position in O(d log² d) time
+// and O(d log d) memory, so each DP query is an O(1) table lookup.
+//
+// How: dev(b, e) decomposes around the interval mean m = sum/len as
+//
+//   dev = [ m·r - Σ_{x_i < m} x_i ] + [ Σ_{x_i ≥ m} x_i - m·(len - r) ]
+//
+// with r the number of interval elements below m. Both r and the partial sum
+// are order statistics of the window, answered against the sorted value
+// universe of x (coordinate compression) with a Fenwick index holding the
+// current window's per-value counts and sums — i.e. per-window sorted order
+// plus prefix sums, maintained incrementally. One bottom-up sweep per level
+// k slides the length-2^k window across all d-2^k+1 starts with two O(log d)
+// Fenwick updates per step and one O(log d) query per start.
+//
+// Exactness: interval lengths are powers of two by construction, so for
+// integer-valued histograms (counts) the mean is an exactly-representable
+// dyadic rational and every term above is exact in double precision — the
+// engine's deviations are then bit-identical to the naive sequential scan,
+// which is what the randomized property tests in tests/mech_dawa_test.cc pin
+// down (engine vs naive DP: identical optimal cost and identical buckets).
+//
+// (A merge-sort-tree of sorted dyadic blocks answers the same queries in
+// O(log² d) each without precomputation; the sliding sweep is preferred here
+// because the DP touches every start position anyway, making the amortized
+// O(1) lookup strictly better for this workload at the same memory bound.)
+
+#ifndef OSDP_MECH_INTERVAL_COSTS_H_
+#define OSDP_MECH_INTERVAL_COSTS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace osdp {
+
+/// \brief Precomputed L1-deviation-from-mean costs for every power-of-two-
+/// length interval of a data vector. Build is O(d log² d) time, O(d log d)
+/// memory; Deviation() is O(1).
+class IntervalCostEngine {
+ public:
+  /// Builds the engine over `x`. x must be non-empty.
+  explicit IntervalCostEngine(const std::vector<double>& x);
+
+  /// Domain size d.
+  size_t size() const { return d_; }
+
+  /// Σ_{i∈[begin,end)} x_i, from the same sequentially-accumulated prefix
+  /// array the naive DP uses (bit-identical interval sums).
+  double Sum(size_t begin, size_t end) const {
+    return prefix_[end] - prefix_[begin];
+  }
+
+  /// Σ_{i∈[begin,end)} |x_i - mean(begin,end)|. Requires end > begin,
+  /// end <= size(), and end - begin a power of two.
+  double Deviation(size_t begin, size_t end) const;
+
+ private:
+  size_t d_;
+  std::vector<double> prefix_;  // prefix_[i] = Σ_{j<i} x_j, sequential order
+  // dev_[k][b] = deviation of [b, b + 2^k); level 0 is identically zero and
+  // not stored.
+  std::vector<std::vector<double>> dev_;
+};
+
+}  // namespace osdp
+
+#endif  // OSDP_MECH_INTERVAL_COSTS_H_

@@ -10,6 +10,7 @@
 #include "src/common/result.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
+#include "tests/stub_rng.h"
 
 namespace osdp {
 namespace {
@@ -160,6 +161,75 @@ TEST(RngTest, ForkProducesIndependentStream) {
   Rng child = parent.Fork();
   // Child continues differently from the parent.
   EXPECT_NE(parent.Next(), child.Next());
+}
+
+// -------------------------------------------- sampler boundary values ------
+
+// The all-ones word is the raw output that maps to NextDoublePositive()'s
+// upper boundary; zero maps to its smallest output. The tests below push
+// both extremes through every log-based sampler.
+constexpr uint64_t kAllOnes = ~uint64_t{0};
+
+TEST(StubRngTest, ReachesTheDoubleBoundaries) {
+  StubRng top({kAllOnes});
+  EXPECT_EQ(top.NextDoublePositive(), 1.0);
+  StubRng bottom({0});
+  EXPECT_EQ(bottom.NextDoublePositive(), 0x1.0p-53);
+  EXPECT_EQ(bottom.NextDouble(), 0.0);
+}
+
+// Regression: SampleLaplace used to return +∞ on the u = 1.0 draw
+// (log of zero); every Laplace-based mechanism would have injected infinite
+// noise with probability 2⁻⁵³ per draw.
+TEST(DistributionsTest, LaplaceFiniteAtBothUniformBoundaries) {
+  const double b = 2.0;
+  StubRng top({kAllOnes});
+  const double hi = SampleLaplace(top, b);
+  EXPECT_TRUE(std::isfinite(hi));
+  EXPECT_GT(hi, 0.0);
+  EXPECT_LE(hi, 53.0 * std::log(2.0) * b + 1e-9);  // documented cap
+
+  StubRng bottom({0});
+  const double lo = SampleLaplace(bottom, b);
+  EXPECT_TRUE(std::isfinite(lo));
+  EXPECT_LT(lo, 0.0);
+  EXPECT_GE(lo, -53.0 * std::log(2.0) * b - 1e-9);
+}
+
+TEST(DistributionsTest, LaplaceFiniteForRandomStreams) {
+  // Belt and braces over the ordinary generator: no draw is ever non-finite.
+  Rng rng(97);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(std::isfinite(SampleLaplace(rng, 0.5)));
+  }
+}
+
+TEST(DistributionsTest, ExponentialBoundariesFiniteAndNonNegative) {
+  StubRng top({kAllOnes});  // u = 1.0 → the distribution's infimum 0
+  const double zero = SampleExponential(top, 3.0);
+  EXPECT_EQ(zero, 0.0);
+  EXPECT_FALSE(std::signbit(zero)) << "must not leak -0.0";
+
+  StubRng bottom({0});  // u = 2⁻⁵³ → the documented 53·ln2·b cap
+  const double hi = SampleExponential(bottom, 3.0);
+  EXPECT_TRUE(std::isfinite(hi));
+  EXPECT_NEAR(hi, 53.0 * std::log(2.0) * 3.0, 1e-9);
+}
+
+TEST(DistributionsTest, OneSidedLaplaceBoundaryIsFinite) {
+  StubRng bottom({0});
+  const double v = SampleOneSidedLaplace(bottom, 1.0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_LE(v, 0.0);
+}
+
+TEST(DistributionsTest, GeometricBoundarySaturatesInsteadOfOverflowing) {
+  // log(2⁻⁵³)/log1p(-p) overflows int64 for tiny p; the cast used to be UB.
+  StubRng bottom({0});
+  EXPECT_EQ(SampleGeometric(bottom, 1e-300),
+            std::numeric_limits<int64_t>::max());
+  StubRng top({kAllOnes});  // u = 1.0 → k = 0
+  EXPECT_EQ(SampleGeometric(top, 0.25), 0);
 }
 
 // ----------------------------------------------------------- Laplace etc ---

@@ -160,6 +160,21 @@ TEST(NGramEncodingTest, DistinctGramsGetDistinctCells) {
   EXPECT_NE(EncodeNGram({0, 1}, 64), EncodeNGram({1, 0}, 64));
 }
 
+TEST(NGramEncodingTest, LargestEncodableGramStillRoundTrips) {
+  // 10 symbols over a 64-letter alphabet use exactly 60 bits — the overflow
+  // guard must not fire on legal inputs right below the limit.
+  const std::vector<int> gram(10, 63);
+  EXPECT_EQ(DecodeNGram(EncodeNGram(gram, 64), 64, 10), gram);
+}
+
+TEST(NGramEncodingDeathTest, OverflowAbortsInsteadOfWrapping) {
+  // 11 symbols over a 64-letter alphabet need 66 bits; the encoding used to
+  // wrap uint64 silently, aliasing distinct n-grams onto one cell so two
+  // different trajectories became indistinguishable downstream.
+  const std::vector<int> gram(11, 63);
+  EXPECT_DEATH(EncodeNGram(gram, 64), "overflows uint64");
+}
+
 // -------------------------------------------------------- HistogramQuery ---
 
 Table AgeTable() {

@@ -4,12 +4,15 @@
 
 #include "src/common/check.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "src/common/random.h"
 #include "src/eval/metrics.h"
 #include "src/mech/dawa.h"
 #include "src/mech/dawaz.h"
 #include "src/mech/histogram_mechanism.h"
+#include "src/mech/interval_costs.h"
 #include "src/mech/laplace.h"
 
 namespace osdp {
@@ -69,6 +72,130 @@ TEST(DawaPartitionTest, HugeChargeForcesSingleBucketEvenWhenSpiky) {
   for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
   auto buckets = OptimalL1Partition(x, 1e9, DawaPositions::kEvery);
   EXPECT_EQ(buckets.size(), 1u);
+}
+
+// ------------------------------------------------- interval-cost engine ---
+
+// Integer-valued random data in one of three shapes. Integer values matter:
+// candidate intervals have power-of-two lengths, so every interval mean is an
+// exactly-representable dyadic rational and both the naive scan and the
+// engine compute the deviation exactly — which is what lets the tests below
+// demand bit-identical results rather than tolerances. (Real histograms are
+// counts, so the integer domain is the one that matters.)
+std::vector<double> RandomIntegerData(Rng& rng, size_t d, int shape) {
+  std::vector<double> x(d);
+  switch (shape) {
+    case 0:  // uniform: one flat level
+      for (auto& v : x) v = static_cast<double>(rng.NextBounded(1 << 20));
+      if (d > 1) std::fill(x.begin(), x.end(), x[0]);
+      break;
+    case 1:  // spiky: sparse large spikes over zeros (Adult-like)
+      for (auto& v : x) {
+        v = rng.NextBernoulli(0.1)
+                ? static_cast<double>(rng.NextBounded(1 << 20))
+                : 0.0;
+      }
+      break;
+    default:  // piecewise constant with random segment levels (Nettrace-like)
+      for (size_t i = 0; i < d;) {
+        const size_t seg = std::min(d - i, 1 + rng.NextBounded(d / 4 + 1));
+        const double level = static_cast<double>(rng.NextBounded(1 << 16));
+        for (size_t j = 0; j < seg; ++j) x[i + j] = level;
+        i += seg;
+      }
+      break;
+  }
+  return x;
+}
+
+TEST(IntervalCostEngineTest, DeviationMatchesDirectScan) {
+  Rng rng(101);
+  for (int iter = 0; iter < 20; ++iter) {
+    const size_t d = 1 + rng.NextBounded(300);
+    const std::vector<double> x = RandomIntegerData(rng, d, iter % 3);
+    const IntervalCostEngine engine(x);
+    ASSERT_EQ(engine.size(), d);
+    for (size_t len = 1; len <= d; len <<= 1) {
+      for (size_t b = 0; b + len <= d; ++b) {
+        double sum = 0.0;
+        for (size_t i = b; i < b + len; ++i) sum += x[i];
+        const double mean = sum / static_cast<double>(len);
+        double dev = 0.0;
+        for (size_t i = b; i < b + len; ++i) dev += std::abs(x[i] - mean);
+        ASSERT_EQ(engine.Deviation(b, b + len), dev)
+            << "d=" << d << " len=" << len << " b=" << b;
+        ASSERT_EQ(engine.Sum(b, b + len), sum);
+      }
+    }
+  }
+}
+
+TEST(IntervalCostEngineTest, HandlesNonIntegerDataFinitely) {
+  // No exactness claim for arbitrary reals — just well-defined finite output
+  // close to the direct scan (the Dawa noisy path feeds such data).
+  Rng rng(103);
+  std::vector<double> x(200);
+  for (auto& v : x) v = rng.NextDouble() * 100.0 - 50.0;
+  const IntervalCostEngine engine(x);
+  for (size_t len = 1; len <= 128; len <<= 1) {
+    for (size_t b = 0; b + len <= x.size(); b += 7) {
+      double sum = 0.0;
+      for (size_t i = b; i < b + len; ++i) sum += x[i];
+      const double mean = sum / static_cast<double>(len);
+      double dev = 0.0;
+      for (size_t i = b; i < b + len; ++i) dev += std::abs(x[i] - mean);
+      EXPECT_NEAR(engine.Deviation(b, b + len), dev, 1e-9 * (1.0 + dev));
+    }
+  }
+}
+
+// The tentpole property test: the engine-backed DP must be *bit-identical*
+// to the naive reference DP — same optimal cost, same buckets — across
+// domain sizes up to 4096, both position modes, all three data shapes.
+TEST(DawaPartitionPropertyTest, EngineMatchesNaiveBitIdentical) {
+  Rng rng(20200417);  // ICDE 2020 presentation date
+  const double charges[] = {0.5, 1.0, 2.0, 64.0, 4096.0};
+  std::vector<size_t> domains = {1, 2, 3, 17, 64, 100, 255, 256,
+                                 257, 1000, 1024, 2048, 4095, 4096};
+  for (size_t d : domains) {
+    for (int shape = 0; shape < 3; ++shape) {
+      const std::vector<double> x = RandomIntegerData(rng, d, shape);
+      const double charge =
+          charges[rng.NextBounded(sizeof(charges) / sizeof(charges[0]))];
+      for (DawaPositions pos :
+           {DawaPositions::kEvery, DawaPositions::kHalfOverlap}) {
+        const L1PartitionSolution naive =
+            SolveL1Partition(x, charge, pos, DawaCostImpl::kNaive);
+        const L1PartitionSolution engine =
+            SolveL1Partition(x, charge, pos, DawaCostImpl::kEngine);
+        ASSERT_EQ(naive.cost, engine.cost)
+            << "d=" << d << " shape=" << shape << " charge=" << charge
+            << " pos=" << static_cast<int>(pos);
+        ASSERT_EQ(naive.buckets.size(), engine.buckets.size());
+        for (size_t i = 0; i < naive.buckets.size(); ++i) {
+          ASSERT_EQ(naive.buckets[i].begin, engine.buckets[i].begin);
+          ASSERT_EQ(naive.buckets[i].end, engine.buckets[i].end);
+        }
+      }
+    }
+  }
+}
+
+TEST(DawaPartitionPropertyTest, AutoImplMatchesExplicitImpls) {
+  // kAuto must pick one of the two bit-identical implementations, never a
+  // third behaviour.
+  Rng rng(77);
+  const std::vector<double> x = RandomIntegerData(rng, 2048, 1);
+  const L1PartitionSolution a =
+      SolveL1Partition(x, 8.0, DawaPositions::kEvery, DawaCostImpl::kAuto);
+  const L1PartitionSolution n =
+      SolveL1Partition(x, 8.0, DawaPositions::kEvery, DawaCostImpl::kNaive);
+  EXPECT_EQ(a.cost, n.cost);
+  ASSERT_EQ(a.buckets.size(), n.buckets.size());
+  for (size_t i = 0; i < a.buckets.size(); ++i) {
+    EXPECT_EQ(a.buckets[i].begin, n.buckets[i].begin);
+    EXPECT_EQ(a.buckets[i].end, n.buckets[i].end);
+  }
 }
 
 // ------------------------------------------------------------------ DAWA ---

@@ -144,6 +144,60 @@ TEST(HierarchicalTest, ValidatesArguments) {
   EXPECT_FALSE(HierarchicalRelease(x, 1.0, opts, rng).ok());
 }
 
+TEST(HierarchicalTest, EqualSplitMatchesWeightedOnBalancedTree) {
+  // With d a power of the fanout every subtree is balanced, all sibling
+  // variances are equal, and the two split rules must coincide exactly.
+  Histogram x(std::vector<double>(64, 12.0));
+  HierarchicalOptions weighted, equal;
+  weighted.residual_split = ResidualSplit::kVarianceWeighted;
+  equal.residual_split = ResidualSplit::kEqual;
+  equal.clamp_non_negative = weighted.clamp_non_negative = false;
+  Rng rng_w(41), rng_e(41);  // identical noise streams
+  Histogram hw = HierarchicalRelease(x, 0.7, weighted, rng_w)->estimate;
+  Histogram he = HierarchicalRelease(x, 0.7, equal, rng_e)->estimate;
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(hw[i], he[i]);
+}
+
+TEST(HierarchicalTest, WeightedSplitBeatsEqualOnUnbalancedTrees) {
+  // Regression for the downward pass: splitting the residual equally is only
+  // variance-optimal when all sibling subtrees carry equal variance. On
+  // non-power-of-fanout domains the tree is ragged (leaf children sit next
+  // to deep subtrees), and the variance-weighted split — the exact
+  // least-squares projection — gives strictly lower error. Fanout 2
+  // maximizes sibling variance contrast; paired noise streams isolate the
+  // split rule's effect, and fixed seeds make the comparison deterministic.
+  // The squared-error gap is the theory-backed one (GLS minimizes every
+  // leaf's variance); the L1 gap is smaller because the weighted correction
+  // also reshapes the error distribution, but both favour weighting here.
+  HierarchicalOptions weighted, equal;
+  weighted.fanout = equal.fanout = 2;
+  weighted.residual_split = ResidualSplit::kVarianceWeighted;
+  equal.residual_split = ResidualSplit::kEqual;
+  equal.clamp_non_negative = weighted.clamp_non_negative = false;
+  double weighted_l1 = 0.0, equal_l1 = 0.0;
+  double weighted_l2 = 0.0, equal_l2 = 0.0;
+  for (size_t d : {size_t{9}, size_t{17}, size_t{33}, size_t{37},
+                   size_t{127}}) {
+    Histogram x(d);
+    for (size_t i = 0; i < d; ++i) {
+      x[i] = 30.0 + 10.0 * static_cast<double>(i % 5);
+    }
+    for (int rep = 0; rep < 4000; ++rep) {
+      Rng rng_w(1000 + rep), rng_e(1000 + rep);
+      Histogram hw = HierarchicalRelease(x, 0.5, weighted, rng_w)->estimate;
+      Histogram he = HierarchicalRelease(x, 0.5, equal, rng_e)->estimate;
+      for (size_t i = 0; i < d; ++i) {
+        weighted_l1 += std::abs(hw[i] - x[i]);
+        equal_l1 += std::abs(he[i] - x[i]);
+        weighted_l2 += (hw[i] - x[i]) * (hw[i] - x[i]);
+        equal_l2 += (he[i] - x[i]) * (he[i] - x[i]);
+      }
+    }
+  }
+  EXPECT_LT(weighted_l1, equal_l1);
+  EXPECT_LT(weighted_l2, equal_l2);
+}
+
 TEST(HierarchicalTest, FanoutVariantsAllTile) {
   Histogram x = SparseTruth(96);
   for (int fanout : {2, 4, 16}) {

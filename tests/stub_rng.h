@@ -1,0 +1,35 @@
+// A stub Rng that replays a scripted sequence of raw 64-bit outputs, cycling
+// when exhausted. Used to force exact boundary values through the samplers —
+// e.g. Next() == ~0 makes NextDoublePositive() return exactly 1.0, and
+// Next() == 0 returns its smallest output 2⁻⁵³ — draws that occur with
+// probability 2⁻⁵³ in production and cannot be provoked by seed search.
+
+#ifndef OSDP_TESTS_STUB_RNG_H_
+#define OSDP_TESTS_STUB_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace osdp {
+
+class StubRng : public Rng {
+ public:
+  explicit StubRng(std::vector<uint64_t> outputs)
+      : outputs_(std::move(outputs)) {}
+
+  uint64_t Next() override {
+    const uint64_t v = outputs_[next_ % outputs_.size()];
+    ++next_;
+    return v;
+  }
+
+ private:
+  std::vector<uint64_t> outputs_;
+  size_t next_ = 0;
+};
+
+}  // namespace osdp
+
+#endif  // OSDP_TESTS_STUB_RNG_H_
