@@ -1,0 +1,408 @@
+// Scaling benchmark for the parallel execution runtime: rows/sec for the
+// sharded scan paths and the concurrent QueryService versus the serial
+// baselines, across thread counts.
+//
+//   ingest        table construction: boxed AppendRowUnchecked loop vs the
+//                 columnar Table::FromColumns move-in path (1 thread each;
+//                 measures the bulk-ingest satellite, not the pool).
+//   mask          CompiledPredicate::EvalMask vs ParallelEvalMask
+//   count         mask eval + AND with the policy mask + popcount, serial
+//                 vs sharded combiners/ParallelCount
+//   hist          ComputeHistogramMasked vs ParallelComputeHistogramMasked
+//   service       a 16-query batch (12 counts + 4 histograms) through
+//                 QueryService across 4 sessions, pool of N threads vs the
+//                 inline pool
+//
+// Every parallel measurement is cross-checked bit-identical against its
+// serial counterpart; any divergence exits non-zero (the ctest smoke run
+// relies on this).
+//
+// Knobs: OSDP_BENCH_MAX_ROWS caps the row grid (default 10M; the CI smoke
+// run uses 100000), OSDP_BENCH_THREADS is the comma-separated thread grid
+// (default "1,2,4,8"), OSDP_BENCH_JSON the output path (default
+// BENCH_parallel_scan.json). The JSON records hardware_concurrency so a
+// flat curve on a starved machine reads as what it is.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/benchdata/table_gen.h"
+#include "src/core/engine.h"
+#include "src/data/compiled_predicate.h"
+#include "src/data/predicate.h"
+#include "src/data/row_mask.h"
+#include "src/eval/table_printer.h"
+#include "src/hist/histogram_query.h"
+#include "src/policy/policy.h"
+#include "src/runtime/parallel_scan.h"
+#include "src/runtime/query_service.h"
+#include "src/runtime/thread_pool.h"
+
+using namespace osdp;
+
+namespace {
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename Fn>
+double TimeBest(int reps, const Fn& fn) {
+  fn();  // warmup
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const double t0 = NowSec();
+    fn();
+    best = std::min(best, NowSec() - t0);
+  }
+  return best;
+}
+
+int RepsFor(size_t rows) {
+  if (rows >= 10000000) return 2;
+  if (rows >= 1000000) return 3;
+  return 7;
+}
+
+struct Measurement {
+  std::string op;
+  size_t rows;
+  size_t threads;  // 0 = serial baseline
+  double sec_per_iter;
+  double rows_per_sec;
+};
+
+std::vector<size_t> ParseThreads(const char* env) {
+  std::vector<size_t> out;
+  std::string s = env ? env : "1,2,4,8";
+  size_t pos = 0;
+  while (pos < s.size()) {
+    out.push_back(static_cast<size_t>(std::atoll(s.c_str() + pos)));
+    const size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+Predicate BenchPredicate() {
+  // The 3-leaf "mixed3" shape of bench_predicate_pipeline, so the serial
+  // baseline here lines up with BENCH_predicate_pipeline.json.
+  return Predicate::And(Predicate::Or(Predicate::Eq("race", Value("C3")),
+                                      Predicate::Eq("opt_in", Value(0))),
+                        Predicate::Le("age", Value(40)));
+}
+
+Policy BenchPolicy() {
+  return Policy::SensitiveWhen(
+      Predicate::Or(Predicate::Eq("opt_in", Value(0)),
+                    Predicate::Lt("age", Value(18))),
+      "bench_policy");
+}
+
+// Builds the same census table through the boxed row-at-a-time path, for
+// the ingest comparison. Mirrors the historical MakeCensusTable loop.
+Table MakeCensusTableBoxed(const CensusTableOptions& opts) {
+  Schema schema({{"age", ValueType::kInt64},
+                 {"income", ValueType::kDouble},
+                 {"race", ValueType::kString},
+                 {"opt_in", ValueType::kInt64},
+                 {"zip", ValueType::kInt64}});
+  Table table(schema);
+  Rng rng(opts.seed);
+  std::vector<std::string> categories;
+  for (size_t c = 0; c < std::max<size_t>(opts.num_categories, 1); ++c) {
+    categories.push_back("C" + std::to_string(c));
+  }
+  Row row(5);
+  for (size_t i = 0; i < opts.num_rows; ++i) {
+    row[0] = Value(static_cast<int64_t>(rng.NextBounded(100)));
+    row[1] = Value(
+        std::min(2.0e4 / std::sqrt(rng.NextDoublePositive()), 1.0e7));
+    row[2] = Value(categories[rng.NextBounded(categories.size())]);
+    row[3] = Value(static_cast<int64_t>(
+        rng.NextDouble() < opts.opt_out_fraction ? 0 : 1));
+    row[4] = Value(static_cast<int64_t>(rng.NextBounded(10000)));
+    table.AppendRowUnchecked(row);
+  }
+  return table;
+}
+
+int Fail(const char* what, size_t rows, size_t threads) {
+  std::fprintf(stderr,
+               "BIT-IDENTITY VIOLATION: %s (rows=%zu threads=%zu)\n", what,
+               rows, threads);
+  return 1;
+}
+
+std::vector<ServiceRequest> ServiceBatch(const Domain1D& age_domain) {
+  std::vector<ServiceRequest> batch;
+  for (int q = 0; q < 12; ++q) {
+    batch.emplace_back(
+        CountRequest{Predicate::Le("age", Value(20 + q * 5)), 1e-4});
+  }
+  for (int q = 0; q < 4; ++q) {
+    batch.emplace_back(HistogramRequest{
+        HistogramQuery{"age", age_domain,
+                       q % 2 ? std::optional<Predicate>(BenchPredicate())
+                             : std::nullopt},
+        1e-4, EngineMechanism::kOsdpLaplaceL1});
+  }
+  return batch;
+}
+
+OsdpEngine ServiceEngine(const Table& table) {
+  OsdpEngine::Options eopts;
+  eopts.total_epsilon = 1e9;  // throughput bench, not a budget bench
+  return *OsdpEngine::Create(table, BenchPolicy(), eopts);
+}
+
+}  // namespace
+
+int main() {
+  const char* max_rows_env = std::getenv("OSDP_BENCH_MAX_ROWS");
+  const size_t max_rows =
+      max_rows_env ? static_cast<size_t>(std::atoll(max_rows_env)) : 10000000;
+  const std::vector<size_t> thread_grid =
+      ParseThreads(std::getenv("OSDP_BENCH_THREADS"));
+
+  std::vector<size_t> row_grid;
+  for (size_t rows : {size_t{1000000}, size_t{10000000}}) {
+    if (rows <= max_rows) row_grid.push_back(rows);
+  }
+  if (row_grid.empty()) row_grid.push_back(max_rows);
+
+  const Policy policy = BenchPolicy();
+  const Domain1D age_domain = *Domain1D::Numeric(0, 100, 64);
+  std::vector<Measurement> results;
+  volatile size_t sink = 0;
+
+  std::printf("=== parallel scan runtime: rows/sec by thread count ===\n");
+  std::printf("(hardware_concurrency=%u; row grid capped at %zu)\n\n",
+              std::thread::hardware_concurrency(), max_rows);
+
+  for (size_t rows : row_grid) {
+    CensusTableOptions topts;
+    topts.num_rows = rows;
+    topts.seed = 0x05D9 + rows;
+    const int reps = RepsFor(rows);
+
+    // --- ingest: boxed row loop vs columnar FromColumns -----------------
+    const double boxed_sec =
+        TimeBest(std::max(reps / 2, 1), [&] { sink += MakeCensusTableBoxed(topts).num_rows(); });
+    const double columnar_sec =
+        TimeBest(std::max(reps / 2, 1), [&] { sink += MakeCensusTable(topts).num_rows(); });
+    results.push_back({"ingest_boxed", rows, 0, boxed_sec,
+                       static_cast<double>(rows) / boxed_sec});
+    results.push_back({"ingest_columnar", rows, 0, columnar_sec,
+                       static_cast<double>(rows) / columnar_sec});
+
+    const Table table = MakeCensusTable(topts);
+    const CompiledPredicate compiled =
+        *CompiledPredicate::Compile(BenchPredicate(), table.schema());
+    const RowMask ns_mask = policy.NonSensitiveRowMask(table);
+    const HistogramQuery query{"age", age_domain,
+                               std::optional<Predicate>(BenchPredicate())};
+
+    // --- serial baselines ----------------------------------------------
+    const RowMask serial_mask = compiled.EvalMask(table);
+    RowMask serial_count_mask = serial_mask;
+    serial_count_mask.AndWith(ns_mask);
+    const size_t serial_count = serial_count_mask.Count();
+    const Histogram serial_hist =
+        *ComputeHistogramMasked(table, query, ns_mask);
+
+    results.push_back({"mask", rows, 0,
+                       TimeBest(reps, [&] { sink += compiled.EvalMask(table).Count(); }),
+                       0});
+    results.push_back({"count", rows, 0, TimeBest(reps, [&] {
+                         RowMask m = compiled.EvalMask(table);
+                         m.AndWith(ns_mask);
+                         sink += m.Count();
+                       }),
+                       0});
+    results.push_back({"hist", rows, 0, TimeBest(reps, [&] {
+                         sink += static_cast<size_t>(
+                             ComputeHistogramMasked(table, query, ns_mask)
+                                 ->Total());
+                       }),
+                       0});
+    {
+      ThreadPool inline_pool(0);
+      QueryService::Options sopts;
+      sopts.per_session_epsilon = 1e8;
+      sopts.pool = &inline_pool;
+      sopts.num_shards = 1;
+      auto serial_service = *QueryService::Create(ServiceEngine(table), sopts);
+      std::vector<QueryService::SessionId> serial_sessions;
+      for (int s = 0; s < 4; ++s) {
+        serial_sessions.push_back(
+            serial_service->OpenSession("s" + std::to_string(s)));
+      }
+      const auto batch = ServiceBatch(age_domain);
+      results.push_back({"service", rows, 0, TimeBest(reps, [&] {
+                           for (const auto sess : serial_sessions) {
+                             for (const auto& r :
+                                  serial_service->AnswerBatch(sess, batch)) {
+                               sink += r.ok() ? 1 : 0;
+                             }
+                           }
+                         }),
+                         0});
+    }
+
+    // --- parallel, per thread count -------------------------------------
+    for (size_t threads : thread_grid) {
+      ThreadPool pool(threads);
+      const ParallelScanOptions popts{&pool, threads};
+
+      const RowMask par_mask = ParallelEvalMask(compiled, table, popts);
+      if (!(par_mask == serial_mask)) return Fail("mask", rows, threads);
+      RowMask par_count_mask = par_mask;
+      ParallelAndWith(&par_count_mask, ns_mask, popts);
+      if (ParallelCount(par_count_mask, popts) != serial_count) {
+        return Fail("count", rows, threads);
+      }
+      const Histogram par_hist =
+          *ParallelComputeHistogramMasked(table, query, ns_mask, popts);
+      if (par_hist.counts() != serial_hist.counts()) {
+        return Fail("hist", rows, threads);
+      }
+
+      results.push_back({"mask", rows, threads, TimeBest(reps, [&] {
+                           sink +=
+                               ParallelEvalMask(compiled, table, popts).Count();
+                         }),
+                         0});
+      results.push_back({"count", rows, threads, TimeBest(reps, [&] {
+                           RowMask m = ParallelEvalMask(compiled, table, popts);
+                           ParallelAndWith(&m, ns_mask, popts);
+                           sink += ParallelCount(m, popts);
+                         }),
+                         0});
+      results.push_back({"hist", rows, threads, TimeBest(reps, [&] {
+                           sink += static_cast<size_t>(
+                               ParallelComputeHistogramMasked(table, query,
+                                                              ns_mask, popts)
+                                   ->Total());
+                         }),
+                         0});
+
+      QueryService::Options sopts;
+      sopts.per_session_epsilon = 1e8;
+      sopts.pool = &pool;
+      sopts.num_shards = threads;
+      auto service = *QueryService::Create(ServiceEngine(table), sopts);
+      std::vector<QueryService::SessionId> sessions;
+      for (int s = 0; s < 4; ++s) {
+        sessions.push_back(service->OpenSession("s" + std::to_string(s)));
+      }
+      const auto batch = ServiceBatch(age_domain);
+
+      // Cross-check on fresh instances (fresh = same per-session seq
+      // stream): parallel service answers must be bit-identical to the
+      // inline-pool service's.
+      {
+        ThreadPool inline_pool(0);
+        QueryService::Options ref_opts = sopts;
+        ref_opts.pool = &inline_pool;
+        ref_opts.num_shards = 1;
+        auto ref_service =
+            *QueryService::Create(ServiceEngine(table), ref_opts);
+        auto par_service = *QueryService::Create(ServiceEngine(table), sopts);
+        const auto ref_session = ref_service->OpenSession("check");
+        const auto par_session = par_service->OpenSession("check");
+        const auto ref_answers = ref_service->AnswerBatch(ref_session, batch);
+        const auto par_answers = par_service->AnswerBatch(par_session, batch);
+        for (size_t q = 0; q < batch.size(); ++q) {
+          if (ref_answers[q].ok() != par_answers[q].ok()) {
+            return Fail("service status", rows, threads);
+          }
+          if (!ref_answers[q].ok()) continue;
+          if (ref_answers[q]->count != par_answers[q]->count) {
+            return Fail("service count", rows, threads);
+          }
+          const auto& rh = ref_answers[q]->histogram;
+          const auto& ph = par_answers[q]->histogram;
+          if (rh.has_value() != ph.has_value() ||
+              (rh.has_value() && rh->counts() != ph->counts())) {
+            return Fail("service histogram", rows, threads);
+          }
+        }
+      }
+      results.push_back({"service", rows, threads, TimeBest(reps, [&] {
+                           for (const auto sess : sessions) {
+                             for (const auto& r :
+                                  service->AnswerBatch(sess, batch)) {
+                               sink += r.ok() ? 1 : 0;
+                             }
+                           }
+                         }),
+                         0});
+    }
+
+    // rows/sec + table.
+    for (Measurement& m : results) {
+      if (m.rows == rows && m.rows_per_sec == 0) {
+        m.rows_per_sec = static_cast<double>(rows) / m.sec_per_iter;
+      }
+    }
+    TextTable text({"op", "serial rows/s", "threads", "parallel rows/s",
+                    "speedup"});
+    for (const char* op : {"mask", "count", "hist", "service"}) {
+      double serial_rps = 0;
+      for (const Measurement& m : results) {
+        if (m.rows == rows && m.op == op && m.threads == 0) {
+          serial_rps = m.rows_per_sec;
+        }
+      }
+      for (const Measurement& m : results) {
+        if (m.rows != rows || m.op != op || m.threads == 0) continue;
+        text.AddRow({op, TextTable::FmtAuto(serial_rps),
+                     std::to_string(m.threads),
+                     TextTable::FmtAuto(m.rows_per_sec),
+                     TextTable::Fmt(m.rows_per_sec / serial_rps, 2) + "x"});
+      }
+    }
+    std::printf("--- %zu rows ---\n%s\n", rows, text.ToString().c_str());
+    std::printf(
+        "ingest: boxed %.3gs -> columnar %.3gs (%.1fx)\n\n", boxed_sec,
+        columnar_sec, boxed_sec / columnar_sec);
+  }
+
+  // JSON artefact.
+  const char* json_env = std::getenv("OSDP_BENCH_JSON");
+  const std::string json_path =
+      json_env ? json_env : "BENCH_parallel_scan.json";
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"parallel_scan\",\n"
+               "  \"hardware_concurrency\": %u,\n  \"results\": [\n",
+               std::thread::hardware_concurrency());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"rows\": %zu, \"threads\": %zu, "
+                 "\"sec_per_iter\": %.6g, \"rows_per_sec\": %.6g}%s\n",
+                 m.op.c_str(), m.rows, m.threads, m.sec_per_iter,
+                 m.rows_per_sec, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu measurements); sink=%zu\n", json_path.c_str(),
+              results.size(), static_cast<size_t>(sink));
+  return 0;
+}

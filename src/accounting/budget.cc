@@ -27,6 +27,14 @@ Status PrivacyBudget::Spend(double epsilon, const std::string& label) {
   return Status::OK();
 }
 
+void PrivacyBudget::Refund(double epsilon, const std::string& label) {
+  OSDP_CHECK_MSG(epsilon > 0.0, "refund must be positive");
+  OSDP_CHECK_MSG(epsilon <= spent_ + kEpsTolerance,
+                 "refund " << epsilon << " exceeds spent " << spent_);
+  spent_ -= epsilon;
+  charges_.push_back({-epsilon, label});
+}
+
 Status PrivacyBudget::SpendFraction(double fraction, const std::string& label,
                                     double* charged) {
   if (fraction <= 0.0 || fraction > 1.0) {

@@ -35,6 +35,14 @@ class PrivacyBudget {
   Status SpendFraction(double fraction, const std::string& label,
                        double* charged);
 
+  /// \brief Reverses a prior charge of `epsilon` — the rollback half of the
+  /// two-phase commit used by concurrent front-ends (QueryService) that must
+  /// reserve budget before a release and return it if the release fails
+  /// downstream. The ledger stays append-only: a refund is recorded as a
+  /// negative line rather than by erasing the charge, so the audit trail
+  /// shows both sides. Aborts if the refund exceeds what was spent.
+  void Refund(double epsilon, const std::string& label);
+
   /// One ledger line per successful Spend.
   struct Charge {
     double epsilon;

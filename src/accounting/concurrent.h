@@ -1,0 +1,116 @@
+// Thread-safe wrappers over the accounting primitives, for concurrent
+// front-ends (src/runtime/query_service.h).
+//
+// PrivacyBudget and CompositionLedger stay single-threaded value types — the
+// serial mechanism code uses them directly with zero locking cost. The
+// concurrent query path instead holds them behind these wrappers, which
+// serialize every operation with a plain mutex: privacy accounting is a few
+// arithmetic ops per *release* (each of which scans millions of rows), so a
+// mutex is outside the measurement noise, and its correctness is trivially
+// auditable — which matters more than speed for the code that decides
+// whether a release is allowed to happen at all.
+
+#ifndef OSDP_ACCOUNTING_CONCURRENT_H_
+#define OSDP_ACCOUNTING_CONCURRENT_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/accounting/budget.h"
+#include "src/accounting/composition.h"
+#include "src/common/result.h"
+#include "src/policy/policy.h"
+
+namespace osdp {
+
+/// \brief A PrivacyBudget whose operations are individually atomic.
+///
+/// Spend is check-and-commit under the lock, so concurrent spenders can
+/// never jointly overshoot ε_total — the invariant the concurrency tests
+/// (and the TSan CI job) pin. For multi-budget invariants (per-session and
+/// service-wide charged together), callers layer their own serialization on
+/// top; see QueryService's charge path.
+class SharedBudget {
+ public:
+  explicit SharedBudget(double total_epsilon) : budget_(total_epsilon) {}
+
+  double total() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return budget_.total();
+  }
+  double spent() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return budget_.spent();
+  }
+  double remaining() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return budget_.remaining();
+  }
+
+  /// Atomic check-and-charge; BudgetExhausted leaves the budget unchanged.
+  Status Spend(double epsilon, const std::string& label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return budget_.Spend(epsilon, label);
+  }
+
+  /// Atomic rollback of a prior Spend (two-phase commit; see
+  /// PrivacyBudget::Refund).
+  void Refund(double epsilon, const std::string& label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    budget_.Refund(epsilon, label);
+  }
+
+  /// Snapshot of the ledger lines (copy; the live ledger keeps moving).
+  std::vector<PrivacyBudget::Charge> charges() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return budget_.charges();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  PrivacyBudget budget_;
+};
+
+/// \brief A CompositionLedger whose Record and composition queries are
+/// individually atomic — the thread-safe composition ledger concurrent
+/// sessions charge through.
+class SharedLedger {
+ public:
+  /// Atomically appends one (policy, ε) invocation record.
+  void Record(const Policy& policy, double epsilon, std::string label = "") {
+    std::lock_guard<std::mutex> lock(mu_);
+    ledger_.Record(policy, epsilon, std::move(label));
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ledger_.size();
+  }
+
+  /// Sequential composition of everything recorded so far (Theorem 3.3).
+  Result<ComposedGuarantee> Sequential() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ledger_.Sequential();
+  }
+
+  /// Parallel composition (Theorem 10.2); caller asserts disjointness.
+  Result<ComposedGuarantee> Parallel() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ledger_.Parallel();
+  }
+
+  /// Snapshot of the recorded entries (copy).
+  std::vector<CompositionLedger::Entry> entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ledger_.entries();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  CompositionLedger ledger_;
+};
+
+}  // namespace osdp
+
+#endif  // OSDP_ACCOUNTING_CONCURRENT_H_

@@ -54,6 +54,35 @@ Result<Table> OsdpEngine::ReleaseSample(double epsilon) {
   return released;
 }
 
+Result<Histogram> OsdpEngine::RunMechanism(const Histogram& x,
+                                           const Histogram& xns,
+                                           double epsilon,
+                                           EngineMechanism mechanism,
+                                           Rng& rng) const {
+  switch (mechanism) {
+    case EngineMechanism::kLaplace:
+      return LaplaceMechanism(x, epsilon, rng);
+    case EngineMechanism::kOsdpLaplace:
+      return OsdpLaplace(xns, epsilon, rng);
+    case EngineMechanism::kOsdpLaplaceL1:
+      return OsdpLaplaceL1(xns, epsilon, rng);
+    case EngineMechanism::kDawa: {
+      auto r = Dawa(x, epsilon, options_.dawa, rng);
+      if (!r.ok()) return r.status();
+      return std::move(r->estimate);
+    }
+    case EngineMechanism::kDawaz:
+      return Dawaz(x, xns, epsilon, options_.dawaz, rng);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status OsdpEngine::ChargeRelease(double epsilon, const std::string& label) {
+  OSDP_RETURN_IF_ERROR(budget_.Spend(epsilon, label));
+  ledger_.Record(policy_, epsilon, label);
+  return Status::OK();
+}
+
 Result<Histogram> OsdpEngine::AnswerHistogram(const HistogramQuery& query,
                                               double epsilon,
                                               EngineMechanism mechanism) {
@@ -63,35 +92,10 @@ Result<Histogram> OsdpEngine::AnswerHistogram(const HistogramQuery& query,
   OSDP_ASSIGN_OR_RETURN(Histogram xns,
                         ComputeHistogramMasked(data_, query, ns_mask_));
 
-  Result<Histogram> out = Status::Internal("unreachable");
-  switch (mechanism) {
-    case EngineMechanism::kLaplace:
-      out = LaplaceMechanism(x, epsilon, rng_);
-      break;
-    case EngineMechanism::kOsdpLaplace:
-      out = OsdpLaplace(xns, epsilon, rng_);
-      break;
-    case EngineMechanism::kOsdpLaplaceL1:
-      out = OsdpLaplaceL1(xns, epsilon, rng_);
-      break;
-    case EngineMechanism::kDawa: {
-      auto r = Dawa(x, epsilon, options_.dawa, rng_);
-      if (!r.ok()) {
-        out = r.status();
-      } else {
-        out = std::move(r->estimate);
-      }
-      break;
-    }
-    case EngineMechanism::kDawaz:
-      out = Dawaz(x, xns, epsilon, options_.dawaz, rng_);
-      break;
-  }
+  Result<Histogram> out = RunMechanism(x, xns, epsilon, mechanism, rng_);
   if (!out.ok()) return out.status();
-  OSDP_RETURN_IF_ERROR(budget_.Spend(
+  OSDP_RETURN_IF_ERROR(ChargeRelease(
       epsilon, std::string("histogram/") + EngineMechanismToString(mechanism)));
-  ledger_.Record(policy_, epsilon,
-                 std::string("histogram/") + EngineMechanismToString(mechanism));
   return out;
 }
 
@@ -104,8 +108,7 @@ Result<double> OsdpEngine::AnswerCount(const Predicate& where, double epsilon) {
   RowMask matching = compiled.EvalMask(data_);
   matching.AndWith(ns_mask_);
   const double count = static_cast<double>(matching.Count());
-  OSDP_RETURN_IF_ERROR(budget_.Spend(epsilon, "count query"));
-  ledger_.Record(policy_, epsilon, "count query");
+  OSDP_RETURN_IF_ERROR(ChargeRelease(epsilon, "count query"));
   // One-sided Laplace with sensitivity 1: a one-sided neighbor can only
   // grow the non-sensitive count (Section 5.1).
   return count + SampleOneSidedLaplace(rng_, 1.0 / epsilon);

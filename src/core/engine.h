@@ -71,6 +71,31 @@ class OsdpEngine {
   /// mixes) before any budget is spent.
   Result<double> AnswerCount(const Predicate& where, double epsilon);
 
+  /// \brief Runs `mechanism` over precomputed histograms without touching
+  /// budget, ledger, or the engine's own noise stream — the pure dispatch
+  /// shared by AnswerHistogram and concurrent front-ends (QueryService)
+  /// that bring their own per-query Rng. DP mechanisms consume `x`, OSDP
+  /// mechanisms `xns` (DAWAz both). Const and thread-compatible: concurrent
+  /// calls are safe as long as each passes a distinct Rng.
+  Result<Histogram> RunMechanism(const Histogram& x, const Histogram& xns,
+                                 double epsilon, EngineMechanism mechanism,
+                                 Rng& rng) const;
+
+  /// \brief Spends `epsilon` and records the ledger entry for one release —
+  /// the accounting half of every Answer* method, exposed so a concurrent
+  /// front-end can route its own releases through the engine's lifetime
+  /// guarantee. Not thread-safe; callers serialize externally.
+  Status ChargeRelease(double epsilon, const std::string& label);
+
+  /// The guarded dataset (borrowed; valid for the engine's lifetime).
+  const Table& data() const { return data_; }
+
+  /// The cached non-sensitive row mask (batch-classified at construction).
+  const RowMask& non_sensitive_mask() const { return ns_mask_; }
+
+  /// The engine configuration.
+  const Options& options() const { return options_; }
+
   /// Remaining lifetime budget.
   double remaining_budget() const { return budget_.remaining(); }
 

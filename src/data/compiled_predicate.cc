@@ -122,13 +122,17 @@ Result<std::shared_ptr<const Op>> CompileNode(const Predicate::Node& n,
   return std::shared_ptr<const Op>(op);
 }
 
-// Packs fn(row) over all rows into out, 64 bits at a time. fn must be pure.
+// Packs fn(row) for rows [row_begin, row_end) into `words`, 64 bits at a
+// time. `row_begin` is a multiple of 64 and words[0] is the word holding row
+// `row_begin`, so the bit packing per word is identical to a whole-table
+// scan — the invariant behind serial/sharded bit-identity. fn must be pure.
 template <typename Fn>
-void FillMask(size_t n, RowMask* out, const Fn& fn) {
-  uint64_t* words = out->mutable_words();
+void FillMask(size_t row_begin, size_t row_end, uint64_t* words,
+              const Fn& fn) {
+  const size_t n = row_end - row_begin;
   const size_t full_words = n >> 6;
   for (size_t wi = 0; wi < full_words; ++wi) {
-    const size_t base = wi << 6;
+    const size_t base = row_begin + (wi << 6);
     uint64_t w = 0;
     for (size_t b = 0; b < 64; ++b) {
       w |= static_cast<uint64_t>(fn(base + b) ? 1 : 0) << b;
@@ -137,7 +141,7 @@ void FillMask(size_t n, RowMask* out, const Fn& fn) {
   }
   if (n & 63) {
     uint64_t w = 0;
-    for (size_t i = full_words << 6; i < n; ++i) {
+    for (size_t i = row_begin + (full_words << 6); i < row_end; ++i) {
       w |= static_cast<uint64_t>(fn(i) ? 1 : 0) << (i & 63);
     }
     words[full_words] = w;
@@ -147,26 +151,32 @@ void FillMask(size_t n, RowMask* out, const Fn& fn) {
 // Comparison loops. Numeric columns compare as double regardless of storage
 // type — exactly the reference CompareCell semantics.
 template <typename SrcT>
-void FillNumCmp(PredicateOp cmp, const SrcT* col, size_t n, double lit,
-                RowMask* out) {
+void FillNumCmp(PredicateOp cmp, const SrcT* col, size_t row_begin,
+                size_t row_end, double lit, uint64_t* words) {
   switch (cmp) {
     case PredicateOp::kEq:
-      FillMask(n, out, [&](size_t i) { return static_cast<double>(col[i]) == lit; });
+      FillMask(row_begin, row_end, words,
+               [&](size_t i) { return static_cast<double>(col[i]) == lit; });
       break;
     case PredicateOp::kNe:
-      FillMask(n, out, [&](size_t i) { return static_cast<double>(col[i]) != lit; });
+      FillMask(row_begin, row_end, words,
+               [&](size_t i) { return static_cast<double>(col[i]) != lit; });
       break;
     case PredicateOp::kLt:
-      FillMask(n, out, [&](size_t i) { return static_cast<double>(col[i]) < lit; });
+      FillMask(row_begin, row_end, words,
+               [&](size_t i) { return static_cast<double>(col[i]) < lit; });
       break;
     case PredicateOp::kLe:
-      FillMask(n, out, [&](size_t i) { return static_cast<double>(col[i]) <= lit; });
+      FillMask(row_begin, row_end, words,
+               [&](size_t i) { return static_cast<double>(col[i]) <= lit; });
       break;
     case PredicateOp::kGt:
-      FillMask(n, out, [&](size_t i) { return static_cast<double>(col[i]) > lit; });
+      FillMask(row_begin, row_end, words,
+               [&](size_t i) { return static_cast<double>(col[i]) > lit; });
       break;
     case PredicateOp::kGe:
-      FillMask(n, out, [&](size_t i) { return static_cast<double>(col[i]) >= lit; });
+      FillMask(row_begin, row_end, words,
+               [&](size_t i) { return static_cast<double>(col[i]) >= lit; });
       break;
     default:
       OSDP_CHECK_MSG(false, "bad comparison op");
@@ -174,68 +184,86 @@ void FillNumCmp(PredicateOp cmp, const SrcT* col, size_t n, double lit,
 }
 
 void FillStrCmp(PredicateOp cmp, const std::vector<std::string>& col,
-                std::string_view lit, RowMask* out) {
-  const size_t n = col.size();
+                size_t row_begin, size_t row_end, std::string_view lit,
+                uint64_t* words) {
   switch (cmp) {
     case PredicateOp::kEq:
-      FillMask(n, out, [&](size_t i) { return std::string_view(col[i]) == lit; });
+      FillMask(row_begin, row_end, words,
+               [&](size_t i) { return std::string_view(col[i]) == lit; });
       break;
     case PredicateOp::kNe:
-      FillMask(n, out, [&](size_t i) { return std::string_view(col[i]) != lit; });
+      FillMask(row_begin, row_end, words,
+               [&](size_t i) { return std::string_view(col[i]) != lit; });
       break;
     case PredicateOp::kLt:
-      FillMask(n, out, [&](size_t i) { return std::string_view(col[i]) < lit; });
+      FillMask(row_begin, row_end, words,
+               [&](size_t i) { return std::string_view(col[i]) < lit; });
       break;
     case PredicateOp::kLe:
-      FillMask(n, out, [&](size_t i) { return std::string_view(col[i]) <= lit; });
+      FillMask(row_begin, row_end, words,
+               [&](size_t i) { return std::string_view(col[i]) <= lit; });
       break;
     case PredicateOp::kGt:
-      FillMask(n, out, [&](size_t i) { return std::string_view(col[i]) > lit; });
+      FillMask(row_begin, row_end, words,
+               [&](size_t i) { return std::string_view(col[i]) > lit; });
       break;
     case PredicateOp::kGe:
-      FillMask(n, out, [&](size_t i) { return std::string_view(col[i]) >= lit; });
+      FillMask(row_begin, row_end, words,
+               [&](size_t i) { return std::string_view(col[i]) >= lit; });
       break;
     default:
       OSDP_CHECK_MSG(false, "bad comparison op");
   }
 }
 
-void EvalOp(const Op& op, const Table& table, RowMask* out) {
-  const size_t n = table.num_rows();
+// Evaluates `op` for rows [row_begin, row_end) into `words` (the word
+// holding row `row_begin` first). All tail bits past row_end in the last
+// word are written zero, matching RowMask's cleared-tail invariant when the
+// range ends at the table boundary.
+void EvalOp(const Op& op, const Table& table, size_t row_begin, size_t row_end,
+            uint64_t* words) {
+  const size_t n = row_end - row_begin;
+  const size_t num_words = (n + 63) >> 6;
+  const size_t tail = n & 63;
   switch (op.kind) {
     case Op::Kind::kConstTrue:
-      out->SetAll(true);
+      for (size_t wi = 0; wi < num_words; ++wi) words[wi] = ~uint64_t{0};
+      if (tail != 0) words[num_words - 1] = (uint64_t{1} << tail) - 1;
       return;
     case Op::Kind::kConstFalse:
-      out->SetAll(false);
+      for (size_t wi = 0; wi < num_words; ++wi) words[wi] = 0;
       return;
     case Op::Kind::kAnd: {
-      EvalOp(*op.left, table, out);
-      RowMask rhs(n);
-      EvalOp(*op.right, table, &rhs);
-      out->AndWith(rhs);
+      EvalOp(*op.left, table, row_begin, row_end, words);
+      std::vector<uint64_t> rhs(num_words);
+      EvalOp(*op.right, table, row_begin, row_end, rhs.data());
+      for (size_t wi = 0; wi < num_words; ++wi) words[wi] &= rhs[wi];
       return;
     }
     case Op::Kind::kOr: {
-      EvalOp(*op.left, table, out);
-      RowMask rhs(n);
-      EvalOp(*op.right, table, &rhs);
-      out->OrWith(rhs);
+      EvalOp(*op.left, table, row_begin, row_end, words);
+      std::vector<uint64_t> rhs(num_words);
+      EvalOp(*op.right, table, row_begin, row_end, rhs.data());
+      for (size_t wi = 0; wi < num_words; ++wi) words[wi] |= rhs[wi];
       return;
     }
     case Op::Kind::kNot:
-      EvalOp(*op.left, table, out);
-      out->FlipAll();
+      EvalOp(*op.left, table, row_begin, row_end, words);
+      for (size_t wi = 0; wi < num_words; ++wi) words[wi] = ~words[wi];
+      if (tail != 0) words[num_words - 1] &= (uint64_t{1} << tail) - 1;
       return;
     case Op::Kind::kCmpNum:
       if (op.col_type == ValueType::kInt64) {
-        FillNumCmp(op.cmp, table.Int64Column(op.col).data(), n, op.num_lit, out);
+        FillNumCmp(op.cmp, table.Int64Column(op.col).data(), row_begin,
+                   row_end, op.num_lit, words);
       } else {
-        FillNumCmp(op.cmp, table.DoubleColumn(op.col).data(), n, op.num_lit, out);
+        FillNumCmp(op.cmp, table.DoubleColumn(op.col).data(), row_begin,
+                   row_end, op.num_lit, words);
       }
       return;
     case Op::Kind::kCmpStr:
-      FillStrCmp(op.cmp, table.StringColumn(op.col), op.str_lit, out);
+      FillStrCmp(op.cmp, table.StringColumn(op.col), row_begin, row_end,
+                 op.str_lit, words);
       return;
     case Op::Kind::kInNum: {
       // IN lists are tiny in practice (policy categories); a linear scan over
@@ -249,19 +277,20 @@ void EvalOp(const Op& op, const Table& table, RowMask* out) {
       };
       if (op.col_type == ValueType::kInt64) {
         const int64_t* col = table.Int64Column(op.col).data();
-        FillMask(n, out, [&](size_t i) {
+        FillMask(row_begin, row_end, words, [&](size_t i) {
           return member(static_cast<double>(col[i]));
         });
       } else {
         const double* col = table.DoubleColumn(op.col).data();
-        FillMask(n, out, [&](size_t i) { return member(col[i]); });
+        FillMask(row_begin, row_end, words,
+                 [&](size_t i) { return member(col[i]); });
       }
       return;
     }
     case Op::Kind::kInStr: {
       const std::vector<std::string>& col = table.StringColumn(op.col);
       const std::vector<std::string>& set = op.str_set;
-      FillMask(n, out, [&](size_t i) {
+      FillMask(row_begin, row_end, words, [&](size_t i) {
         const std::string_view v(col[i]);
         for (const std::string& s : set) {
           if (v == s) return true;
@@ -291,10 +320,21 @@ RowMask CompiledPredicate::EvalMask(const Table& table) const {
 }
 
 void CompiledPredicate::EvalInto(const Table& table, RowMask* out) const {
+  EvalRangeInto(table, 0, table.num_rows(), out);
+}
+
+void CompiledPredicate::EvalRangeInto(const Table& table, size_t row_begin,
+                                      size_t row_end, RowMask* out) const {
   OSDP_CHECK_MSG(table.schema() == schema_,
                  "table schema differs from the compiled schema");
   OSDP_CHECK(out->size() == table.num_rows());
-  EvalOp(*root_, table, out);
+  OSDP_CHECK_MSG((row_begin & 63) == 0, "range start must be word-aligned");
+  OSDP_CHECK_MSG(row_end == table.num_rows() || (row_end & 63) == 0,
+                 "range end must be word-aligned or the table end");
+  OSDP_CHECK(row_begin <= row_end && row_end <= table.num_rows());
+  if (row_begin == row_end) return;
+  EvalOp(*root_, table, row_begin, row_end,
+         out->mutable_words() + (row_begin >> 6));
 }
 
 }  // namespace osdp

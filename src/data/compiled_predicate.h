@@ -56,6 +56,19 @@ class CompiledPredicate {
   /// Evaluates into an existing mask sized table.num_rows().
   void EvalInto(const Table& table, RowMask* out) const;
 
+  /// \brief Evaluates only rows [row_begin, row_end) into the corresponding
+  /// bits of `out` (sized table.num_rows()), leaving all other words of the
+  /// mask untouched.
+  ///
+  /// `row_begin` must be a multiple of 64 and `row_end` either a multiple of
+  /// 64 or exactly table.num_rows(), so the range covers whole 64-bit words
+  /// of the mask. Disjoint word-aligned ranges therefore write disjoint
+  /// words, which is what makes sharded evaluation (src/runtime/) safe with
+  /// no synchronization and bit-identical to the serial scan: the per-word
+  /// bit packing is the same computation either way.
+  void EvalRangeInto(const Table& table, size_t row_begin, size_t row_end,
+                     RowMask* out) const;
+
   /// Compiled program node; public only for the implementation.
   struct Op;
 

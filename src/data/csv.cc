@@ -112,16 +112,42 @@ std::string EscapeField(const std::string& s) {
 
 Result<Table> BuildTable(const std::vector<std::vector<std::string>>& rows,
                          const Schema& schema) {
-  Table table(schema);
+  // Parse straight into typed column vectors and adopt them via
+  // FromColumns — no per-cell Value boxing, so loading is bound by parsing.
+  const size_t num_fields = schema.num_fields();
+  const size_t data_rows = rows.size() > 0 ? rows.size() - 1 : 0;
+  std::vector<Table::ColumnData> columns;
+  columns.reserve(num_fields);
+  for (size_t c = 0; c < num_fields; ++c) {
+    switch (schema.field(c).type) {
+      case ValueType::kInt64: {
+        std::vector<int64_t> col;
+        col.reserve(data_rows);
+        columns.emplace_back(std::move(col));
+        break;
+      }
+      case ValueType::kDouble: {
+        std::vector<double> col;
+        col.reserve(data_rows);
+        columns.emplace_back(std::move(col));
+        break;
+      }
+      case ValueType::kString: {
+        std::vector<std::string> col;
+        col.reserve(data_rows);
+        columns.emplace_back(std::move(col));
+        break;
+      }
+    }
+  }
+
   for (size_t r = 1; r < rows.size(); ++r) {
     const auto& cells = rows[r];
-    if (cells.size() != schema.num_fields()) {
+    if (cells.size() != num_fields) {
       return Status::InvalidArgument(
           "row " + std::to_string(r) + " has " + std::to_string(cells.size()) +
-          " fields, expected " + std::to_string(schema.num_fields()));
+          " fields, expected " + std::to_string(num_fields));
     }
-    Row row;
-    row.reserve(cells.size());
     for (size_t c = 0; c < cells.size(); ++c) {
       switch (schema.field(c).type) {
         case ValueType::kInt64: {
@@ -130,8 +156,9 @@ Result<Table> BuildTable(const std::vector<std::vector<std::string>>& rows,
                                            ": '" + cells[c] +
                                            "' is not an integer");
           }
-          row.emplace_back(
-              static_cast<int64_t>(std::strtoll(cells[c].c_str(), nullptr, 10)));
+          std::get<std::vector<int64_t>>(columns[c])
+              .push_back(static_cast<int64_t>(
+                  std::strtoll(cells[c].c_str(), nullptr, 10)));
           break;
         }
         case ValueType::kDouble: {
@@ -140,17 +167,17 @@ Result<Table> BuildTable(const std::vector<std::vector<std::string>>& rows,
                                            ": '" + cells[c] +
                                            "' is not numeric");
           }
-          row.emplace_back(std::strtod(cells[c].c_str(), nullptr));
+          std::get<std::vector<double>>(columns[c])
+              .push_back(std::strtod(cells[c].c_str(), nullptr));
           break;
         }
         case ValueType::kString:
-          row.emplace_back(cells[c]);
+          std::get<std::vector<std::string>>(columns[c]).push_back(cells[c]);
           break;
       }
     }
-    OSDP_RETURN_IF_ERROR(table.AppendRow(row));
   }
-  return table;
+  return Table::FromColumns(schema, std::move(columns));
 }
 
 }  // namespace

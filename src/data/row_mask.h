@@ -134,6 +134,33 @@ class RowMask {
     }
   }
 
+  /// Calls fn(row) for every set bit in [begin, end), in ascending row
+  /// order — ForEachSet restricted to a row range. Partial first/last words
+  /// are handled, so the range need not be word-aligned. Concurrent calls on
+  /// disjoint (or even overlapping) ranges of a const mask are safe: the
+  /// traversal only reads.
+  template <typename Fn>
+  void ForEachSetInRange(size_t begin, size_t end, Fn&& fn) const {
+    OSDP_DCHECK(begin <= end && end <= size_);
+    if (begin >= end) return;
+    const size_t first_word = begin >> 6;
+    const size_t last_word = (end - 1) >> 6;
+    for (size_t wi = first_word; wi <= last_word; ++wi) {
+      uint64_t w = words_[wi];
+      if (wi == first_word && (begin & 63) != 0) {
+        w &= ~uint64_t{0} << (begin & 63);
+      }
+      if (wi == last_word && (end & 63) != 0) {
+        w &= (uint64_t{1} << (end & 63)) - 1;
+      }
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn((wi << 6) + static_cast<size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
   /// The set rows as an ascending index vector.
   std::vector<size_t> ToIndices() const {
     std::vector<size_t> out;

@@ -21,6 +21,54 @@ Table::Table(Schema schema) : schema_(std::move(schema)) {
   }
 }
 
+namespace {
+
+ValueType ColumnType(const Table::ColumnData& column) {
+  switch (column.index()) {
+    case 0:
+      return ValueType::kInt64;
+    case 1:
+      return ValueType::kDouble;
+    default:
+      return ValueType::kString;
+  }
+}
+
+size_t ColumnLength(const Table::ColumnData& column) {
+  return std::visit([](const auto& v) { return v.size(); }, column);
+}
+
+}  // namespace
+
+Result<Table> Table::FromColumns(Schema schema,
+                                 std::vector<ColumnData> columns) {
+  if (columns.size() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "column count " + std::to_string(columns.size()) +
+        " != schema arity " + std::to_string(schema.num_fields()));
+  }
+  const size_t rows = columns.empty() ? 0 : ColumnLength(columns[0]);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (ColumnType(columns[i]) != schema.field(i).type) {
+      return Status::InvalidArgument(
+          "type mismatch in column '" + schema.field(i).name + "': expected " +
+          ValueTypeToString(schema.field(i).type) + ", got " +
+          ValueTypeToString(ColumnType(columns[i])));
+    }
+    if (ColumnLength(columns[i]) != rows) {
+      return Status::InvalidArgument(
+          "column '" + schema.field(i).name + "' has " +
+          std::to_string(ColumnLength(columns[i])) + " rows, expected " +
+          std::to_string(rows));
+    }
+  }
+  Table table;
+  table.schema_ = std::move(schema);
+  table.columns_ = std::move(columns);
+  table.num_rows_ = rows;
+  return table;
+}
+
 Status Table::AppendRow(const Row& row) {
   if (row.size() != schema_.num_fields()) {
     return Status::InvalidArgument(
@@ -135,6 +183,23 @@ Table Table::SelectRows(const std::vector<size_t>& row_indices) const {
         columns_[c]);
   }
   out.num_rows_ = row_indices.size();
+  return out;
+}
+
+Table Table::SelectRows(const RowMask& mask) const {
+  OSDP_CHECK(mask.size() == num_rows_);
+  const std::vector<size_t> indices = mask.ToIndices();
+  Table out(schema_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::visit(
+        [&](const auto& src) {
+          auto& dst = std::get<std::decay_t<decltype(src)>>(out.columns_[c]);
+          dst.reserve(indices.size());
+          for (size_t r : indices) dst.push_back(src[r]);
+        },
+        columns_[c]);
+  }
+  out.num_rows_ = indices.size();
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/data/row_mask.h"
 #include "src/data/schema.h"
 #include "src/data/value.h"
 
@@ -24,9 +25,22 @@ using Row = std::vector<Value>;
 /// subsets, so the table exposes row-index-based access throughout.
 class Table {
  public:
+  /// One column's storage, typed to match its schema field.
+  using ColumnData = std::variant<std::vector<int64_t>, std::vector<double>,
+                                  std::vector<std::string>>;
+
   Table() = default;
   /// Creates an empty table with the given schema.
   explicit Table(Schema schema);
+
+  /// \brief Bulk columnar ingest: adopts fully-built column vectors without
+  /// copying or boxing a single cell. Errors if the column count differs
+  /// from the schema arity, any column's type mismatches its field, or the
+  /// columns have unequal lengths. This is the fast path for dataset
+  /// generation and CSV loading — construction cost is the moves, so
+  /// ingest is bound by producing the data, not by re-storing it.
+  static Result<Table> FromColumns(Schema schema,
+                                   std::vector<ColumnData> columns);
 
   /// The table's schema.
   const Schema& schema() const { return schema_; }
@@ -72,9 +86,14 @@ class Table {
   /// (in the given order). Indices must be valid.
   Table SelectRows(const std::vector<size_t>& row_indices) const;
 
+  /// Selection push-down from a RowMask (which must cover num_rows()): the
+  /// set rows, in ascending order, gathered column-at-a-time via ToIndices.
+  /// Skips the per-index validation of the vector overload — the mask's
+  /// size is the bounds proof.
+  Table SelectRows(const RowMask& mask) const;
+
  private:
-  using Column = std::variant<std::vector<int64_t>, std::vector<double>,
-                              std::vector<std::string>>;
+  using Column = ColumnData;
 
   Schema schema_;
   std::vector<Column> columns_;

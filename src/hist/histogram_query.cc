@@ -61,6 +61,48 @@ Status ApplyWhere(const Table& table, const std::optional<Predicate>& where,
 
 }  // namespace
 
+Result<PreparedHistogramQuery> PreparedHistogramQuery::Prepare(
+    const Table& table, const HistogramQuery& query) {
+  OSDP_ASSIGN_OR_RETURN(size_t col_idx,
+                        table.schema().FieldIndex(query.column));
+  OSDP_ASSIGN_OR_RETURN(Binner binner,
+                        MakeBinner(table, col_idx, query.domain));
+  PreparedHistogramQuery prepared(query.domain);
+  prepared.i64_ = binner.i64;
+  prepared.dbl_ = binner.dbl;
+  prepared.categorical_ = binner.categorical;
+  if (query.where) {
+    OSDP_ASSIGN_OR_RETURN(
+        CompiledPredicate compiled,
+        CompiledPredicate::Compile(*query.where, table.schema()));
+    prepared.where_ =
+        std::make_shared<const CompiledPredicate>(std::move(compiled));
+  }
+  return prepared;
+}
+
+void PreparedHistogramQuery::AccumulateRange(const RowMask& mask,
+                                             size_t row_begin, size_t row_end,
+                                             Histogram* out) const {
+  OSDP_CHECK(out->size() == domain_.size());
+  std::vector<double>& counts = out->counts();
+  if (i64_ != nullptr) {
+    if (categorical_) {
+      mask.ForEachSetInRange(row_begin, row_end, [&](size_t row) {
+        counts[domain_.BinOfCategory(i64_[row])] += 1.0;
+      });
+    } else {
+      mask.ForEachSetInRange(row_begin, row_end, [&](size_t row) {
+        counts[domain_.BinOf(static_cast<double>(i64_[row]))] += 1.0;
+      });
+    }
+  } else {
+    mask.ForEachSetInRange(row_begin, row_end, [&](size_t row) {
+      counts[domain_.BinOf(dbl_[row])] += 1.0;
+    });
+  }
+}
+
 Result<Histogram> ComputeHistogram(const Table& table,
                                    const HistogramQuery& query) {
   return ComputeHistogramMasked(table, query,
@@ -73,15 +115,17 @@ Result<Histogram> ComputeHistogramMasked(const Table& table,
   if (mask.size() != table.num_rows()) {
     return Status::InvalidArgument("mask size != table rows");
   }
-  OSDP_ASSIGN_OR_RETURN(size_t col_idx, table.schema().FieldIndex(query.column));
-  OSDP_ASSIGN_OR_RETURN(Binner binner, MakeBinner(table, col_idx, query.domain));
+  OSDP_ASSIGN_OR_RETURN(PreparedHistogramQuery prepared,
+                        PreparedHistogramQuery::Prepare(table, query));
 
-  RowMask selected = mask;
-  OSDP_RETURN_IF_ERROR(ApplyWhere(table, query.where, &selected));
-
-  Histogram out(query.domain.size());
-  std::vector<double>& counts = out.counts();
-  selected.ForEachSet([&](size_t row) { counts[binner.Bin(row)] += 1.0; });
+  Histogram out(prepared.num_bins());
+  if (prepared.where() != nullptr) {
+    RowMask selected = mask;
+    selected.AndWith(prepared.where()->EvalMask(table));
+    prepared.AccumulateRange(selected, 0, table.num_rows(), &out);
+  } else {
+    prepared.AccumulateRange(mask, 0, table.num_rows(), &out);
+  }
   return out;
 }
 

@@ -10,10 +10,12 @@
 #ifndef OSDP_HIST_HISTOGRAM_QUERY_H_
 #define OSDP_HIST_HISTOGRAM_QUERY_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "src/common/result.h"
+#include "src/data/compiled_predicate.h"
 #include "src/data/predicate.h"
 #include "src/data/row_mask.h"
 #include "src/data/table.h"
@@ -28,6 +30,48 @@ struct HistogramQuery {
   std::string column;
   Domain1D domain;
   std::optional<Predicate> where;
+};
+
+/// \brief A HistogramQuery bound to a concrete table: grouped column
+/// resolved to a typed pointer, WHERE clause compiled, query shape fully
+/// validated. The batch evaluators (serial below, sharded in src/runtime/)
+/// both execute through this, so "prepare errors" are identical on every
+/// path and the per-shard work is a pure accumulation loop.
+///
+/// A prepared query borrows the table's column storage — it must not outlive
+/// the table or survive a mutation. Immutable once built: AccumulateRange on
+/// disjoint row ranges may run concurrently from many threads.
+class PreparedHistogramQuery {
+ public:
+  /// Validates and binds `query` against `table`: NotFound for an unknown
+  /// column, InvalidArgument for an unbinnable grouped column or an
+  /// ill-typed WHERE — the same errors, in the same precedence, as the
+  /// unprepared evaluators.
+  static Result<PreparedHistogramQuery> Prepare(const Table& table,
+                                                const HistogramQuery& query);
+
+  /// Number of bins the query produces.
+  size_t num_bins() const { return domain_.size(); }
+
+  /// The compiled WHERE clause, or nullptr when the query has none.
+  const CompiledPredicate* where() const { return where_.get(); }
+
+  /// Adds 1 to `out`'s bin of every selected row in [row_begin, row_end):
+  /// rows whose `mask` bit is set. `out` must have num_bins() bins; the
+  /// WHERE clause is *not* applied here — AND it into `mask` first (the
+  /// serial evaluator does; the sharded one does it word-parallel).
+  void AccumulateRange(const RowMask& mask, size_t row_begin, size_t row_end,
+                       Histogram* out) const;
+
+ private:
+  PreparedHistogramQuery(Domain1D domain) : domain_(std::move(domain)) {}
+
+  // Exactly one of i64_/dbl_ is set (the grouped column's typed storage).
+  const int64_t* i64_ = nullptr;
+  const double* dbl_ = nullptr;
+  bool categorical_ = false;
+  Domain1D domain_;
+  std::shared_ptr<const CompiledPredicate> where_;
 };
 
 /// Evaluates a 1-D histogram query over all rows of `table`.

@@ -1,0 +1,157 @@
+#include "src/runtime/parallel_scan.h"
+
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace osdp {
+
+namespace {
+
+ThreadPool& PoolOf(const ParallelScanOptions& opts) {
+  return opts.pool != nullptr ? *opts.pool : ThreadPool::Default();
+}
+
+size_t ShardsOf(const ParallelScanOptions& opts, const ThreadPool& pool) {
+  if (opts.num_shards != 0) return opts.num_shards;
+  return pool.num_threads() == 0 ? 1 : pool.num_threads();
+}
+
+// Runs fn(shard_index, row_begin, row_end) over word-aligned shards of
+// [0, num_rows). The shard edges are deterministic, so per-shard outputs
+// indexed by shard_index merge deterministically regardless of scheduling.
+template <typename Fn>
+void ForEachShard(size_t num_rows, const ParallelScanOptions& opts,
+                  const Fn& fn) {
+  ThreadPool& pool = PoolOf(opts);
+  const std::vector<size_t> edges =
+      WordAlignedShards(num_rows, ShardsOf(opts, pool));
+  const size_t shards = edges.size() - 1;
+  pool.ParallelForBlocked(0, shards, 1, [&](size_t lo, size_t hi) {
+    for (size_t s = lo; s < hi; ++s) fn(s, edges[s], edges[s + 1]);
+  });
+}
+
+}  // namespace
+
+RowMask ParallelEvalMask(const CompiledPredicate& pred, const Table& table,
+                         const ParallelScanOptions& opts) {
+  RowMask out(table.num_rows());
+  ForEachShard(table.num_rows(), opts,
+               [&](size_t /*shard*/, size_t begin, size_t end) {
+                 pred.EvalRangeInto(table, begin, end, &out);
+               });
+  return out;
+}
+
+size_t ParallelCount(const RowMask& mask, const ParallelScanOptions& opts) {
+  ThreadPool& pool = PoolOf(opts);
+  const std::vector<size_t> edges =
+      WordAlignedShards(mask.size(), ShardsOf(opts, pool));
+  const size_t shards = edges.size() - 1;
+  std::vector<size_t> partial(shards, 0);
+  const uint64_t* words = mask.words();
+  pool.ParallelForBlocked(0, shards, 1, [&](size_t lo, size_t hi) {
+    for (size_t s = lo; s < hi; ++s) {
+      const size_t wlo = edges[s] >> 6;
+      const size_t whi = (edges[s + 1] + 63) >> 6;
+      size_t n = 0;
+      for (size_t wi = wlo; wi < whi; ++wi) {
+        n += static_cast<size_t>(__builtin_popcountll(words[wi]));
+      }
+      partial[s] = n;
+    }
+  });
+  size_t total = 0;
+  for (size_t n : partial) total += n;
+  return total;
+}
+
+namespace {
+
+enum class CombineOp { kAnd, kOr, kAndNot };
+
+void ParallelCombine(RowMask* mask, const RowMask& other, CombineOp op,
+                     const ParallelScanOptions& opts) {
+  OSDP_CHECK(mask->size() == other.size());
+  uint64_t* dst = mask->mutable_words();
+  const uint64_t* src = other.words();
+  ForEachShard(mask->size(), opts,
+               [&](size_t /*shard*/, size_t begin, size_t end) {
+                 const size_t wlo = begin >> 6;
+                 const size_t whi = (end + 63) >> 6;
+                 switch (op) {
+                   case CombineOp::kAnd:
+                     for (size_t wi = wlo; wi < whi; ++wi) dst[wi] &= src[wi];
+                     break;
+                   case CombineOp::kOr:
+                     for (size_t wi = wlo; wi < whi; ++wi) dst[wi] |= src[wi];
+                     break;
+                   case CombineOp::kAndNot:
+                     for (size_t wi = wlo; wi < whi; ++wi) dst[wi] &= ~src[wi];
+                     break;
+                 }
+               });
+}
+
+}  // namespace
+
+void ParallelAndWith(RowMask* mask, const RowMask& other,
+                     const ParallelScanOptions& opts) {
+  ParallelCombine(mask, other, CombineOp::kAnd, opts);
+}
+
+void ParallelOrWith(RowMask* mask, const RowMask& other,
+                    const ParallelScanOptions& opts) {
+  ParallelCombine(mask, other, CombineOp::kOr, opts);
+}
+
+void ParallelAndNotWith(RowMask* mask, const RowMask& other,
+                        const ParallelScanOptions& opts) {
+  ParallelCombine(mask, other, CombineOp::kAndNot, opts);
+}
+
+Histogram ParallelAccumulateHistogram(const PreparedHistogramQuery& prepared,
+                                      const RowMask& selected,
+                                      const ParallelScanOptions& opts) {
+  ThreadPool& pool = PoolOf(opts);
+  const std::vector<size_t> edges =
+      WordAlignedShards(selected.size(), ShardsOf(opts, pool));
+  const size_t shards = edges.size() - 1;
+  std::vector<Histogram> partial(shards, Histogram(prepared.num_bins()));
+  pool.ParallelForBlocked(0, shards, 1, [&](size_t lo, size_t hi) {
+    for (size_t s = lo; s < hi; ++s) {
+      prepared.AccumulateRange(selected, edges[s], edges[s + 1], &partial[s]);
+    }
+  });
+
+  // Lock-free merge in shard order: integer-valued partial counts sum
+  // exactly, so this equals the serial row-order accumulation bit for bit.
+  Histogram out(prepared.num_bins());
+  std::vector<double>& counts = out.counts();
+  for (const Histogram& p : partial) {
+    for (size_t b = 0; b < counts.size(); ++b) counts[b] += p[b];
+  }
+  return out;
+}
+
+Result<Histogram> ParallelComputeHistogramMasked(
+    const Table& table, const HistogramQuery& query, const RowMask& mask,
+    const ParallelScanOptions& opts) {
+  if (mask.size() != table.num_rows()) {
+    return Status::InvalidArgument("mask size != table rows");
+  }
+  OSDP_ASSIGN_OR_RETURN(PreparedHistogramQuery prepared,
+                        PreparedHistogramQuery::Prepare(table, query));
+
+  if (prepared.where() == nullptr) {
+    return ParallelAccumulateHistogram(prepared, mask, opts);
+  }
+  // Shard-parallel WHERE evaluation into a scratch mask, then a
+  // shard-parallel AND — same words, so the same shard edges apply.
+  RowMask selected = ParallelEvalMask(*prepared.where(), table, opts);
+  ParallelAndWith(&selected, mask, opts);
+  return ParallelAccumulateHistogram(prepared, selected, opts);
+}
+
+}  // namespace osdp

@@ -1,0 +1,82 @@
+// Sharded execution of the hot scan paths: CompiledPredicate mask
+// evaluation, RowMask combination/popcount, and masked histograms, split
+// across a ThreadPool in 64-bit-word-aligned segments.
+//
+// Every function here is bit-identical to its serial counterpart at any
+// shard count — the contract tests/runtime_test.cc pins with randomized
+// property tests. The alignment discipline makes that cheap to guarantee:
+//
+//   * Shard boundaries are multiples of 64 (WordAlignedShards), so each
+//     shard owns whole words of every mask involved. Producers write
+//     disjoint words, combiners rewrite disjoint words in place — no locks,
+//     no read-modify-write sharing, no tail-bit coordination.
+//   * Per-word bit packing inside a shard is the same computation the serial
+//     scan performs for those words (CompiledPredicate::EvalRangeInto).
+//   * Histogram counts are integer-valued doubles; per-shard partial counts
+//     merged in shard order sum exactly (no FP reordering error below 2^53),
+//     so the merged histogram equals the serial row-order accumulation.
+//
+// Options select the pool and the shard count; the defaults (process-wide
+// pool, one shard per worker) are right for throughput. More shards than
+// workers is legal and occasionally useful for skewed string scans.
+
+#ifndef OSDP_RUNTIME_PARALLEL_SCAN_H_
+#define OSDP_RUNTIME_PARALLEL_SCAN_H_
+
+#include "src/common/result.h"
+#include "src/data/compiled_predicate.h"
+#include "src/data/row_mask.h"
+#include "src/data/table.h"
+#include "src/hist/histogram.h"
+#include "src/hist/histogram_query.h"
+#include "src/runtime/thread_pool.h"
+
+namespace osdp {
+
+/// How a sharded scan is executed.
+struct ParallelScanOptions {
+  /// Pool to run on; nullptr = ThreadPool::Default().
+  ThreadPool* pool = nullptr;
+  /// Number of shards; 0 = one per pool worker (minimum 1).
+  size_t num_shards = 0;
+};
+
+/// CompiledPredicate::EvalMask, sharded: each shard evaluates its word-
+/// aligned row segment into disjoint words of the result.
+RowMask ParallelEvalMask(const CompiledPredicate& pred, const Table& table,
+                         const ParallelScanOptions& opts = {});
+
+/// RowMask::Count, sharded: per-shard popcounts summed in shard order.
+size_t ParallelCount(const RowMask& mask,
+                     const ParallelScanOptions& opts = {});
+
+/// \name RowMask combiners, sharded: each shard rewrites its own words.
+/// @{
+void ParallelAndWith(RowMask* mask, const RowMask& other,
+                     const ParallelScanOptions& opts = {});
+void ParallelOrWith(RowMask* mask, const RowMask& other,
+                    const ParallelScanOptions& opts = {});
+void ParallelAndNotWith(RowMask* mask, const RowMask& other,
+                        const ParallelScanOptions& opts = {});
+/// @}
+
+/// ComputeHistogramMasked, sharded: the WHERE mask is evaluated and combined
+/// shard-parallel, then each shard accumulates its row segment into a
+/// shard-local histogram; partials merge lock-free in shard order.
+Result<Histogram> ParallelComputeHistogramMasked(
+    const Table& table, const HistogramQuery& query, const RowMask& mask,
+    const ParallelScanOptions& opts = {});
+
+/// The accumulation stage alone, for callers that already hold a
+/// PreparedHistogramQuery and a fully-selected mask (WHERE clause, if any,
+/// already ANDed in): per-shard partial histograms over `selected`, merged
+/// lock-free in shard order. This is how a caller answering several
+/// histograms against one prepared query avoids re-compiling and re-scanning
+/// the WHERE clause per histogram (QueryService does).
+Histogram ParallelAccumulateHistogram(const PreparedHistogramQuery& prepared,
+                                      const RowMask& selected,
+                                      const ParallelScanOptions& opts = {});
+
+}  // namespace osdp
+
+#endif  // OSDP_RUNTIME_PARALLEL_SCAN_H_

@@ -1,0 +1,280 @@
+#include "src/runtime/query_service.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/distributions.h"
+#include "src/data/compiled_predicate.h"
+#include "src/runtime/parallel_scan.h"
+
+namespace osdp {
+
+namespace {
+
+// Deterministic 64-bit seed mix; collision-resistance comes from Rng's
+// SplitMix64 seeding, this only needs to separate the (root, session, seq)
+// triples.
+uint64_t MixSeed(uint64_t root, uint64_t session, uint64_t seq) {
+  uint64_t z = root;
+  z ^= session + 0x9E3779B97F4A7C15ULL + (z << 6) + (z >> 2);
+  z ^= seq + 0x9E3779B97F4A7C15ULL + (z << 6) + (z >> 2);
+  return z;
+}
+
+}  // namespace
+
+struct QueryService::PreparedRequest {
+  std::shared_ptr<Session> session;
+  double epsilon = 0.0;
+  uint64_t seed = 0;
+  std::string label;
+
+  // Count form: the WHERE clause, compiled during validation.
+  std::optional<CompiledPredicate> count_pred;
+
+  // Histogram form: the query bound and validated against the table during
+  // reservation — execution reuses it, so the WHERE clause is compiled
+  // exactly once per query.
+  std::optional<PreparedHistogramQuery> hist_prepared;
+  EngineMechanism mechanism = EngineMechanism::kOsdpLaplaceL1;
+};
+
+QueryService::QueryService(OsdpEngine engine, Options options)
+    : engine_(std::move(engine)),
+      options_(options),
+      service_budget_(engine_.remaining_budget()),
+      all_rows_(engine_.num_rows(), /*value=*/true) {}
+
+Result<std::unique_ptr<QueryService>> QueryService::Create(OsdpEngine engine,
+                                                           Options options) {
+  if (options.per_session_epsilon <= 0.0) {
+    return Status::InvalidArgument("per_session_epsilon must be positive");
+  }
+  if (engine.remaining_budget() <= 0.0) {
+    return Status::InvalidArgument(
+        "engine has no remaining budget to serve from");
+  }
+  return std::unique_ptr<QueryService>(
+      new QueryService(std::move(engine), options));
+}
+
+QueryService::SessionId QueryService::OpenSession(const std::string& analyst) {
+  const SessionId id =
+      next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  auto session = std::make_shared<Session>(id, analyst,
+                                           options_.per_session_epsilon);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+Status QueryService::CloseSession(SessionId session) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (sessions_.erase(session) == 0) {
+    return Status::NotFound("no session " + std::to_string(session));
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<QueryService::Session> QueryService::FindSession(
+    SessionId session) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Result<double> QueryService::session_remaining(SessionId session) const {
+  std::shared_ptr<Session> s = FindSession(session);
+  if (s == nullptr) {
+    return Status::NotFound("no session " + std::to_string(session));
+  }
+  return s->budget.remaining();
+}
+
+Result<QueryService::PreparedRequest> QueryService::Validate(
+    const ServiceRequest& request) const {
+  PreparedRequest prepared;
+
+  // Validate fully before touching either budget: a malformed query or a
+  // non-positive ε must cost nothing.
+  if (const auto* count = std::get_if<CountRequest>(&request)) {
+    if (count->epsilon <= 0.0) {
+      return Status::InvalidArgument("epsilon must be positive");
+    }
+    OSDP_ASSIGN_OR_RETURN(
+        CompiledPredicate compiled,
+        CompiledPredicate::Compile(count->where, engine_.data().schema()));
+    prepared.count_pred = std::move(compiled);
+    prepared.epsilon = count->epsilon;
+    prepared.label = "count query";
+  } else {
+    const auto& hist = std::get<HistogramRequest>(request);
+    if (hist.epsilon <= 0.0) {
+      return Status::InvalidArgument("epsilon must be positive");
+    }
+    OSDP_ASSIGN_OR_RETURN(
+        PreparedHistogramQuery bound,
+        PreparedHistogramQuery::Prepare(engine_.data(), hist.query));
+    prepared.hist_prepared = std::move(bound);
+    prepared.mechanism = hist.mechanism;
+    prepared.epsilon = hist.epsilon;
+    prepared.label =
+        std::string("histogram/") + EngineMechanismToString(hist.mechanism);
+  }
+  return prepared;
+}
+
+Status QueryService::Reserve(Session& session, PreparedRequest* prepared) {
+  // Two-budget reservation: the session first (the analyst's own limit),
+  // then the service-wide lifetime budget, rolling the session back if the
+  // dataset is out of ε.
+  OSDP_RETURN_IF_ERROR(
+      session.budget.Spend(prepared->epsilon, prepared->label));
+  const Status service_status = service_budget_.Spend(
+      prepared->epsilon, prepared->label + " (" + session.analyst + ")");
+  if (!service_status.ok()) {
+    session.budget.Refund(prepared->epsilon, prepared->label);
+    return service_status;
+  }
+
+  prepared->seed = MixSeed(options_.seed, session.id,
+                           session.next_seq.fetch_add(1));
+  return Status::OK();
+}
+
+Result<ServiceAnswer> QueryService::Execute(const PreparedRequest& prepared) {
+  const ParallelScanOptions scan{options_.pool, options_.num_shards};
+  Rng rng(prepared.seed);
+  ServiceAnswer answer;
+
+  if (prepared.count_pred.has_value()) {
+    RowMask matching =
+        ParallelEvalMask(*prepared.count_pred, engine_.data(), scan);
+    ParallelAndWith(&matching, engine_.non_sensitive_mask(), scan);
+    const double count = static_cast<double>(ParallelCount(matching, scan));
+    // One-sided Laplace with sensitivity 1, exactly OsdpEngine::AnswerCount.
+    answer.count = count + SampleOneSidedLaplace(rng, 1.0 / prepared.epsilon);
+  } else {
+    const PreparedHistogramQuery& query = *prepared.hist_prepared;
+
+    // Compute only the histogram(s) the mechanism reads: x (all rows) for
+    // the DP mechanisms, x_ns for the one-sided ones, both for DAWAz. The
+    // WHERE mask, when present, is evaluated once and shared.
+    const bool need_x = prepared.mechanism == EngineMechanism::kLaplace ||
+                        prepared.mechanism == EngineMechanism::kDawa ||
+                        prepared.mechanism == EngineMechanism::kDawaz;
+    const bool need_xns =
+        prepared.mechanism == EngineMechanism::kOsdpLaplace ||
+        prepared.mechanism == EngineMechanism::kOsdpLaplaceL1 ||
+        prepared.mechanism == EngineMechanism::kDawaz;
+
+    std::optional<RowMask> where_mask;
+    if (query.where() != nullptr) {
+      where_mask = ParallelEvalMask(*query.where(), engine_.data(), scan);
+    }
+
+    Histogram x(query.num_bins());
+    if (need_x) {
+      x = ParallelAccumulateHistogram(
+          query, where_mask.has_value() ? *where_mask : all_rows_, scan);
+    }
+    Histogram xns(query.num_bins());
+    if (need_xns) {
+      if (where_mask.has_value()) {
+        RowMask selected = *where_mask;
+        ParallelAndWith(&selected, engine_.non_sensitive_mask(), scan);
+        xns = ParallelAccumulateHistogram(query, selected, scan);
+      } else {
+        xns = ParallelAccumulateHistogram(query, engine_.non_sensitive_mask(),
+                                          scan);
+      }
+    }
+
+    Result<Histogram> released = engine_.RunMechanism(
+        x, xns, prepared.epsilon, prepared.mechanism, rng);
+    if (!released.ok()) {
+      prepared.session->budget.Refund(prepared.epsilon,
+                                      prepared.label + " [failed: mechanism]");
+      service_budget_.Refund(prepared.epsilon,
+                             prepared.label + " (" +
+                                 prepared.session->analyst +
+                                 ") [failed: mechanism]");
+      return released.status();
+    }
+    answer.histogram = std::move(released).ValueOrDie();
+  }
+
+  ledger_.Record(engine_.policy(), prepared.epsilon,
+                 prepared.label + " (" + prepared.session->analyst + ")");
+  return answer;
+}
+
+std::vector<Result<ServiceAnswer>> QueryService::AnswerBatch(
+    SessionId session, const std::vector<ServiceRequest>& batch) {
+  std::vector<Result<ServiceAnswer>> results(
+      batch.size(), Result<ServiceAnswer>(Status::Internal("not executed")));
+
+  std::shared_ptr<Session> s = FindSession(session);
+  if (s == nullptr) {
+    for (auto& r : results) {
+      r = Status::NotFound("no session " + std::to_string(session));
+    }
+    return results;
+  }
+
+  // Phase 1a (lock-free): validate and bind every request — concurrent
+  // batches pay the compilation cost in parallel.
+  std::vector<std::optional<PreparedRequest>> prepared(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Result<PreparedRequest> r = Validate(batch[i]);
+    if (r.ok()) {
+      prepared[i] = std::move(r).ValueOrDie();
+      prepared[i]->session = s;
+    } else {
+      results[i] = r.status();
+    }
+  }
+
+  // Phase 1b (serial, deterministic batch order): reserve both budgets.
+  {
+    std::lock_guard<std::mutex> lock(reserve_mu_);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!prepared[i].has_value()) continue;
+      const Status reserved = Reserve(*s, &*prepared[i]);
+      if (!reserved.ok()) {
+        results[i] = reserved;
+        prepared[i].reset();
+      }
+    }
+  }
+
+  // Phase 2 (parallel): execute the reserved queries. Each slot is written
+  // by exactly one chunk, and every scan inside shards further across the
+  // same pool (nesting is safe — the caller participates).
+  ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : ThreadPool::Default();
+  pool.ParallelForBlocked(0, batch.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      if (prepared[i].has_value()) results[i] = Execute(*prepared[i]);
+    }
+  });
+  return results;
+}
+
+Result<ServiceAnswer> QueryService::AnswerCount(SessionId session,
+                                                const Predicate& where,
+                                                double epsilon) {
+  std::vector<ServiceRequest> batch;
+  batch.emplace_back(CountRequest{where, epsilon});
+  return std::move(AnswerBatch(session, batch)[0]);
+}
+
+Result<ServiceAnswer> QueryService::AnswerHistogram(
+    SessionId session, const HistogramQuery& query, double epsilon,
+    EngineMechanism mechanism) {
+  std::vector<ServiceRequest> batch;
+  batch.emplace_back(HistogramRequest{query, epsilon, mechanism});
+  return std::move(AnswerBatch(session, batch)[0]);
+}
+
+}  // namespace osdp

@@ -1,0 +1,189 @@
+// QueryService: the concurrent, multi-session query-answering front-end over
+// OsdpEngine — the paper's "online setting" (Section 7) at service scale.
+//
+// Many analyst sessions submit batches of predicate-count and histogram
+// queries concurrently. The service runs every scan sharded across the
+// thread pool (src/runtime/parallel_scan.h) and routes every charge through
+// two budgets — the analyst's session budget and the dataset's service-wide
+// lifetime budget — plus a thread-safe composition ledger that tracks the
+// composed (P, ε)-OSDP guarantee of everything released so far
+// (Theorem 3.3).
+//
+// Correctness properties, each pinned by tests/query_service_test.cc:
+//
+//   * Determinism: a query's noise stream is seeded from
+//     (service seed, session id, per-session submission index) — never from
+//     thread identity or timing — so answers are bit-identical across runs,
+//     thread counts, and interleavings of *other* sessions' traffic.
+//   * Budget safety: charging is two-phase (reserve both budgets serially in
+//     submission order, execute in parallel, refund on downstream failure),
+//     so concurrent batches can never jointly overspend either budget, and
+//     which query of a batch hits the budget wall is deterministic.
+//   * No charge for malformed queries: compilation and binning errors are
+//     caught during validation, before any reservation — the same contract
+//     as OsdpEngine's serial Answer* methods.
+//
+// The service takes ownership of the engine, making it the dataset's single
+// accounting authority: there is no aliased path that could spend the same ε
+// twice.
+
+#ifndef OSDP_RUNTIME_QUERY_SERVICE_H_
+#define OSDP_RUNTIME_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "src/accounting/concurrent.h"
+#include "src/common/result.h"
+#include "src/core/engine.h"
+#include "src/data/predicate.h"
+#include "src/hist/histogram_query.h"
+#include "src/runtime/thread_pool.h"
+
+namespace osdp {
+
+/// A noisy COUNT(*) WHERE `where` over the non-sensitive rows, charging
+/// `epsilon` (one-sided Laplace, sensitivity 1 — Section 5.1).
+struct CountRequest {
+  Predicate where;
+  double epsilon = 0.1;
+};
+
+/// A histogram release through `mechanism`, charging `epsilon`.
+struct HistogramRequest {
+  HistogramQuery query;
+  double epsilon = 0.1;
+  EngineMechanism mechanism = EngineMechanism::kOsdpLaplaceL1;
+};
+
+/// One query of a batch.
+using ServiceRequest = std::variant<CountRequest, HistogramRequest>;
+
+/// The answer to one query: `count` for CountRequest, `histogram` for
+/// HistogramRequest.
+struct ServiceAnswer {
+  double count = 0.0;
+  std::optional<Histogram> histogram;
+};
+
+/// \brief Concurrent multi-session OSDP query service.
+///
+/// Thread-safe throughout: OpenSession / AnswerBatch / the inspection
+/// methods may be called from any thread at any time.
+class QueryService {
+ public:
+  /// Analyst session handle.
+  using SessionId = uint64_t;
+
+  /// Service configuration.
+  struct Options {
+    /// Lifetime ε each analyst session may spend.
+    double per_session_epsilon = 1.0;
+    /// Pool scans and batches run on; nullptr = ThreadPool::Default().
+    ThreadPool* pool = nullptr;
+    /// Shards per scan; 0 = one per pool worker.
+    size_t num_shards = 0;
+    /// Root seed of the per-query noise streams.
+    uint64_t seed = 0x05D9;
+  };
+
+  /// Takes ownership of `engine`; its remaining budget becomes the
+  /// service-wide lifetime budget.
+  static Result<std::unique_ptr<QueryService>> Create(OsdpEngine engine,
+                                                      Options options);
+
+  /// Opens a session for `analyst` with a fresh per-session budget.
+  SessionId OpenSession(const std::string& analyst);
+
+  /// Closes a session; in-flight batches complete, new ones are rejected.
+  Status CloseSession(SessionId session);
+
+  /// \brief Answers a batch of queries for `session`. Validation and budget
+  /// reservation happen serially in batch order; execution runs sharded
+  /// across the pool. Per-query failures (malformed query, exhausted
+  /// budget) come back as error Results in the matching slot without
+  /// failing the rest of the batch.
+  std::vector<Result<ServiceAnswer>> AnswerBatch(
+      SessionId session, const std::vector<ServiceRequest>& batch);
+
+  /// Convenience single-query forms.
+  Result<ServiceAnswer> AnswerCount(SessionId session, const Predicate& where,
+                                    double epsilon);
+  Result<ServiceAnswer> AnswerHistogram(SessionId session,
+                                        const HistogramQuery& query,
+                                        double epsilon,
+                                        EngineMechanism mechanism);
+
+  /// Remaining service-wide lifetime budget.
+  double remaining_budget() const { return service_budget_.remaining(); }
+
+  /// Remaining budget of one session; NotFound after CloseSession.
+  Result<double> session_remaining(SessionId session) const;
+
+  /// The composed (P, ε)-OSDP guarantee of every successful release across
+  /// all sessions (Theorem 3.3). Errors if nothing has been released.
+  Result<ComposedGuarantee> CurrentGuarantee() const {
+    return ledger_.Sequential();
+  }
+
+  /// The thread-safe composition ledger (one entry per successful release).
+  const SharedLedger& ledger() const { return ledger_; }
+
+  /// Number of rows in the guarded dataset.
+  size_t num_rows() const { return engine_.num_rows(); }
+
+ private:
+  struct Session {
+    SessionId id;
+    std::string analyst;
+    SharedBudget budget;
+    std::atomic<uint64_t> next_seq{0};
+
+    Session(SessionId id, std::string analyst, double epsilon)
+        : id(id), analyst(std::move(analyst)), budget(epsilon) {}
+  };
+
+  // One validated, budget-reserved query awaiting execution.
+  struct PreparedRequest;
+
+  QueryService(OsdpEngine engine, Options options);
+
+  std::shared_ptr<Session> FindSession(SessionId session) const;
+
+  // Phase 1a: validate and bind one request — predicate compilation,
+  // histogram binding, ε checks. CPU-bound and lock-free, so concurrent
+  // batches validate in parallel.
+  Result<PreparedRequest> Validate(const ServiceRequest& request) const;
+
+  // Phase 1b: reserve both budgets and assign the noise seed. Callers hold
+  // reserve_mu_, so the (session, service) pair commits atomically and in
+  // deterministic batch order.
+  Status Reserve(Session& session, PreparedRequest* prepared);
+
+  // Phase 2: execute one prepared query (parallel, shard-local state only).
+  Result<ServiceAnswer> Execute(const PreparedRequest& prepared);
+
+  OsdpEngine engine_;
+  Options options_;
+  SharedBudget service_budget_;
+  SharedLedger ledger_;
+  RowMask all_rows_;  // all-true mask over the dataset (the full-histogram x)
+
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+  std::atomic<SessionId> next_session_id_{1};
+
+  // Serializes phase-1 reservation so the (session, service) budget pair
+  // commits atomically and in deterministic batch order.
+  std::mutex reserve_mu_;
+};
+
+}  // namespace osdp
+
+#endif  // OSDP_RUNTIME_QUERY_SERVICE_H_

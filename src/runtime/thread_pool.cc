@@ -1,0 +1,164 @@
+#include "src/runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace osdp {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Shared state of one ParallelForBlocked call. Stack-allocated by the caller;
+// helper tasks capture a shared_ptr so a helper that wakes up after the
+// caller has already returned (because the caller drained every chunk) finds
+// valid — if exhausted — state rather than a dangling reference.
+struct LoopState {
+  size_t begin;
+  size_t chunk;
+  size_t num_chunks;
+  const std::function<void(size_t, size_t)>* fn;
+  size_t end;
+
+  std::atomic<size_t> next{0};  // next unclaimed chunk index
+  std::atomic<size_t> done{0};  // chunks fully executed
+
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Claims and runs chunks until none are left. Returns the number executed.
+  size_t Drain() {
+    size_t ran = 0;
+    for (;;) {
+      const size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const size_t lo = begin + c * chunk;
+      const size_t hi = lo + chunk < end ? lo + chunk : end;
+      (*fn)(lo, hi);
+      ++ran;
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+    return ran;
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelForBlocked(
+    size_t begin, size_t end, size_t chunk,
+    const std::function<void(size_t, size_t)>& fn) {
+  OSDP_CHECK(chunk > 0);
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  if (num_chunks == 1 || threads_.empty()) {
+    for (size_t lo = begin; lo < end; lo += chunk) {
+      fn(lo, lo + chunk < end ? lo + chunk : end);
+    }
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->begin = begin;
+  state->chunk = chunk;
+  state->num_chunks = num_chunks;
+  state->fn = &fn;
+  state->end = end;
+
+  // One helper per worker (capped by the chunk count minus the caller's
+  // share); a helper that finds the counter exhausted is a cheap no-op.
+  const size_t helpers =
+      std::min(threads_.size(), num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state] { state->Drain(); });
+  }
+
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->num_chunks;
+  });
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool* pool = [] {
+    size_t n = std::thread::hardware_concurrency();
+    if (const char* env = std::getenv("OSDP_NUM_THREADS")) {
+      // Negative values mean "no workers" (the inline pool), not a size_t
+      // wraparound's worth of threads.
+      const long long parsed = std::atoll(env);
+      n = parsed > 0 ? static_cast<size_t>(parsed) : 0;
+    }
+    return new ThreadPool(n);
+  }();
+  return *pool;
+}
+
+std::vector<size_t> WordAlignedShards(size_t num_rows, size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  const size_t words = (num_rows + 63) / 64;
+  const size_t shards = std::min(num_shards, words == 0 ? 1 : words);
+  const size_t words_per_shard = words == 0 ? 0 : (words + shards - 1) / shards;
+  std::vector<size_t> edges;
+  edges.reserve(shards + 1);
+  edges.push_back(0);
+  for (size_t s = 1; s < shards; ++s) {
+    const size_t edge = s * words_per_shard * 64;
+    // The ceil-divided width can overshoot; emit fewer shards rather than an
+    // unaligned (or duplicate) interior edge.
+    if (edge >= num_rows) break;
+    edges.push_back(edge);
+  }
+  edges.push_back(num_rows);
+  return edges;
+}
+
+}  // namespace osdp

@@ -1,0 +1,98 @@
+// ThreadPool: the library's fixed-size threading substrate.
+//
+// Everything parallel in the repository — sharded predicate scans, mask
+// combiners, masked histograms, the concurrent QueryService — runs on this
+// pool. The design goals, in order:
+//
+//   1. No deadlock under nesting. A task running on a pool worker may itself
+//      call ParallelForBlocked on the same pool. This works because the
+//      *calling* thread always participates: chunks are claimed from a
+//      lock-free atomic counter, so the caller drains whatever the workers
+//      have not picked up and never blocks on an unclaimed chunk.
+//   2. No per-chunk allocation or locking on the hot path. The loop state is
+//      a stack-allocated block of atomics; the mutex + condvar pair is
+//      touched only for the final "last chunk finished" hand-off.
+//   3. Determinism of *results* is the responsibility of the work being
+//      sharded (each chunk writes to disjoint state); the pool itself
+//      guarantees only that fn runs exactly once per chunk.
+//
+// No external dependencies: <thread>, <mutex>, <condition_variable>, <atomic>.
+
+#ifndef OSDP_RUNTIME_THREAD_POOL_H_
+#define OSDP_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace osdp {
+
+/// \brief Fixed-size worker pool with a blocked-range parallel-for helper.
+///
+/// A pool with `num_threads == 0` is valid and fully serial: Submit() runs
+/// the task inline and ParallelForBlocked degenerates to a plain loop. This
+/// is the natural "parallelism off" configuration — no special casing in
+/// callers.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = run everything inline on the caller).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 for the inline pool).
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues `task` for asynchronous execution (inline when num_threads()
+  /// is 0). Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// \brief Runs fn(chunk_begin, chunk_end) over [begin, end) split into
+  /// chunks of at most `chunk` elements, in parallel, and returns when every
+  /// chunk has finished.
+  ///
+  /// The calling thread participates, so this is safe to call from inside a
+  /// pool task (nested parallelism) and correct even on the inline pool.
+  /// Chunk boundaries are deterministic functions of (begin, end, chunk);
+  /// which thread runs which chunk is not — fn must write only to
+  /// chunk-local or per-chunk state.
+  void ParallelForBlocked(size_t begin, size_t end, size_t chunk,
+                          const std::function<void(size_t, size_t)>& fn);
+
+  /// \brief The process-wide default pool, created on first use with
+  /// OSDP_NUM_THREADS workers (env var), defaulting to
+  /// std::thread::hardware_concurrency(). OSDP_NUM_THREADS=0 gives the
+  /// inline (serial) pool.
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// \brief Word-aligned shard boundaries for row-range sharding.
+///
+/// Splits `num_rows` rows into at most `num_shards` contiguous ranges whose
+/// boundaries are multiples of 64 (so each shard owns whole 64-bit words of
+/// any RowMask over those rows and shards never share a word). Returns the
+/// shard edges: shard i covers [edges[i], edges[i+1]). Fewer shards than
+/// requested are returned when there are not enough words to go around;
+/// an empty row range yields a single empty shard.
+std::vector<size_t> WordAlignedShards(size_t num_rows, size_t num_shards);
+
+}  // namespace osdp
+
+#endif  // OSDP_RUNTIME_THREAD_POOL_H_

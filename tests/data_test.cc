@@ -111,10 +111,29 @@ TEST(TableTest, ColumnByNameChecksType) {
 
 TEST(TableTest, SelectRowsPreservesOrder) {
   Table t = TestTable();
-  Table sel = t.SelectRows({3, 0});
+  Table sel = t.SelectRows(std::vector<size_t>{3, 0});
   EXPECT_EQ(sel.num_rows(), 2u);
   EXPECT_EQ(sel.GetValue(0, 0).AsInt64(), 28);
   EXPECT_EQ(sel.GetValue(1, 0).AsInt64(), 15);
+}
+
+TEST(TableTest, SelectRowsFromMaskMatchesIndexGather) {
+  Table t = TestTable();
+  RowMask mask(t.num_rows());
+  mask.Set(0);
+  mask.Set(3);
+  Table sel = t.SelectRows(mask);
+  EXPECT_EQ(sel.num_rows(), 2u);
+  EXPECT_EQ(sel.GetValue(0, 0).AsInt64(), 15);
+  EXPECT_EQ(sel.GetValue(1, 0).AsInt64(), 28);
+
+  // Bit-identical to gathering the mask's indices through the vector form.
+  Table via_indices = t.SelectRows(mask.ToIndices());
+  for (size_t r = 0; r < sel.num_rows(); ++r) {
+    for (size_t c = 0; c < sel.num_columns(); ++c) {
+      EXPECT_EQ(sel.GetValue(r, c).ToString(), via_indices.GetValue(r, c).ToString());
+    }
+  }
 }
 
 TEST(TableTest, GetRowRoundTrips) {

@@ -1,0 +1,312 @@
+// Tests for the concurrent OSDP QueryService: determinism across thread
+// counts and interleavings, two-budget safety under concurrency, no-charge
+// validation failures, and the composed guarantee of the thread-safe ledger.
+//
+// The concurrency suites here are the primary ThreadSanitizer targets (the
+// CI tsan job runs exactly this binary plus runtime_test).
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/benchdata/table_gen.h"
+#include "src/core/engine.h"
+#include "src/data/compiled_predicate.h"
+#include "src/data/predicate.h"
+#include "src/hist/histogram_query.h"
+#include "src/runtime/query_service.h"
+#include "src/runtime/thread_pool.h"
+
+namespace osdp {
+namespace {
+
+Policy TestPolicy() {
+  return Policy::SensitiveWhen(
+      Predicate::Or(Predicate::Eq("opt_in", Value(0)),
+                    Predicate::Lt("age", Value(18))),
+      "opt_out_or_minor");
+}
+
+OsdpEngine TestEngine(double total_epsilon, size_t rows = 3000) {
+  CensusTableOptions topts;
+  topts.num_rows = rows;
+  topts.seed = 0x9A;
+  OsdpEngine::Options opts;
+  opts.total_epsilon = total_epsilon;
+  return *OsdpEngine::Create(MakeCensusTable(topts), TestPolicy(), opts);
+}
+
+std::vector<ServiceRequest> TestBatch() {
+  const Domain1D age_domain = *Domain1D::Numeric(0, 100, 16);
+  std::vector<ServiceRequest> batch;
+  batch.emplace_back(CountRequest{Predicate::Le("age", Value(40)), 0.05});
+  batch.emplace_back(
+      HistogramRequest{HistogramQuery{"age", age_domain, std::nullopt}, 0.05,
+                       EngineMechanism::kOsdpLaplaceL1});
+  batch.emplace_back(CountRequest{
+      Predicate::And(Predicate::Gt("income", Value(30000.0)),
+                     Predicate::In("race", {Value("C1"), Value("C2")})),
+      0.05});
+  batch.emplace_back(
+      HistogramRequest{HistogramQuery{"age", age_domain,
+                                      Predicate::Eq("opt_in", Value(1))},
+                       0.05, EngineMechanism::kLaplace});
+  return batch;
+}
+
+TEST(QueryServiceTest, AnswersMatchAcrossThreadAndShardCounts) {
+  // The determinism contract: identical service configuration except for
+  // parallelism ⇒ bit-identical answers. Noise comes from the per-query
+  // (seed, session, seq) stream, never from scheduling.
+  std::vector<std::vector<double>> counts_by_config;
+  std::vector<std::vector<double>> hist_bins_by_config;
+  const size_t thread_counts[] = {0, 1, 4};
+  for (size_t threads : thread_counts) {
+    ThreadPool pool(threads);
+    QueryService::Options opts;
+    opts.pool = &pool;
+    opts.num_shards = threads == 0 ? 1 : 2 * threads + 1;
+    auto service = *QueryService::Create(TestEngine(10.0), opts);
+    const QueryService::SessionId session = service->OpenSession("alice");
+
+    std::vector<double> counts;
+    std::vector<double> hist_bins;
+    for (const auto& result : service->AnswerBatch(session, TestBatch())) {
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      if (result->histogram.has_value()) {
+        for (double c : result->histogram->counts()) hist_bins.push_back(c);
+      } else {
+        counts.push_back(result->count);
+      }
+    }
+    counts_by_config.push_back(std::move(counts));
+    hist_bins_by_config.push_back(std::move(hist_bins));
+  }
+  for (size_t i = 1; i < counts_by_config.size(); ++i) {
+    EXPECT_EQ(counts_by_config[i], counts_by_config[0]);
+    EXPECT_EQ(hist_bins_by_config[i], hist_bins_by_config[0]);
+  }
+}
+
+TEST(QueryServiceTest, CountMatchesNoiselessTruthWithinNoiseBound) {
+  // With a large ε the one-sided Laplace noise is tiny and strictly
+  // negative, so the answer pins the true non-sensitive matching count from
+  // below.
+  ThreadPool pool(2);
+  QueryService::Options opts;
+  opts.pool = &pool;
+  auto engine = TestEngine(1000.0);
+  const Table& data = engine.data();
+  const CompiledPredicate compiled = *CompiledPredicate::Compile(
+      Predicate::Le("age", Value(40)), data.schema());
+  RowMask truth = compiled.EvalMask(data);
+  truth.AndWith(engine.non_sensitive_mask());
+  const double true_count = static_cast<double>(truth.Count());
+
+  opts.per_session_epsilon = 600.0;
+  auto service = *QueryService::Create(std::move(engine), opts);
+  const auto session = service->OpenSession("alice");
+  const auto answer =
+      *service->AnswerCount(session, Predicate::Le("age", Value(40)), 500.0);
+  EXPECT_LE(answer.count, true_count);
+  EXPECT_GE(answer.count, true_count - 1.0);
+}
+
+TEST(QueryServiceTest, MalformedQueriesChargeNothing) {
+  auto service = *QueryService::Create(TestEngine(1.0), {});
+  const auto session = service->OpenSession("alice");
+  const double before_service = service->remaining_budget();
+  const double before_session = *service->session_remaining(session);
+
+  auto bad_column =
+      service->AnswerCount(session, Predicate::Le("nope", Value(1)), 0.1);
+  EXPECT_FALSE(bad_column.ok());
+
+  auto bad_type =
+      service->AnswerCount(session, Predicate::Eq("race", Value(3)), 0.1);
+  EXPECT_FALSE(bad_type.ok());
+
+  auto bad_epsilon =
+      service->AnswerCount(session, Predicate::True(), -1.0);
+  EXPECT_FALSE(bad_epsilon.ok());
+
+  const Domain1D domain = *Domain1D::Numeric(0, 100, 8);
+  auto bad_hist = service->AnswerHistogram(
+      session, HistogramQuery{"race", domain, std::nullopt}, 0.1,
+      EngineMechanism::kOsdpLaplaceL1);
+  EXPECT_FALSE(bad_hist.ok());
+
+  EXPECT_EQ(service->remaining_budget(), before_service);
+  EXPECT_EQ(*service->session_remaining(session), before_session);
+  EXPECT_FALSE(service->CurrentGuarantee().ok()) << "nothing was released";
+}
+
+TEST(QueryServiceTest, PerSessionBudgetIsEnforcedIndependently) {
+  QueryService::Options opts;
+  opts.per_session_epsilon = 0.25;
+  auto service = *QueryService::Create(TestEngine(10.0), opts);
+  const auto alice = service->OpenSession("alice");
+  const auto bob = service->OpenSession("bob");
+
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(
+        service->AnswerCount(alice, Predicate::True(), 0.1).ok());
+  }
+  // 0.05 left: the third 0.1 charge must fail without touching anything.
+  auto exhausted = service->AnswerCount(alice, Predicate::True(), 0.1);
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kBudgetExhausted);
+
+  // Bob's budget is untouched by Alice's exhaustion.
+  EXPECT_DOUBLE_EQ(*service->session_remaining(bob), 0.25);
+  EXPECT_TRUE(service->AnswerCount(bob, Predicate::True(), 0.1).ok());
+}
+
+TEST(QueryServiceTest, ServiceWideBudgetCapsTotalSpendAcrossSessions) {
+  // Dataset lifetime ε = 0.5 but each of 3 sessions may spend 0.3: the
+  // service-wide budget must stop the aggregate at 0.5, refunding the
+  // session reservation of the refused query.
+  QueryService::Options opts;
+  opts.per_session_epsilon = 0.3;
+  auto service = *QueryService::Create(TestEngine(0.5), opts);
+  size_t granted = 0;
+  std::vector<QueryService::SessionId> sessions;
+  for (const char* analyst : {"a", "b", "c"}) {
+    sessions.push_back(service->OpenSession(analyst));
+  }
+  std::vector<double> session_remaining_after;
+  for (const auto session : sessions) {
+    const double before = *service->session_remaining(session);
+    if (service->AnswerCount(session, Predicate::True(), 0.2).ok()) {
+      ++granted;
+    } else {
+      // Refused by the *service* budget: the session budget was refunded.
+      EXPECT_DOUBLE_EQ(*service->session_remaining(session), before);
+    }
+  }
+  EXPECT_EQ(granted, 2u);
+  EXPECT_NEAR(service->remaining_budget(), 0.1, 1e-12);
+
+  const ComposedGuarantee guarantee = *service->CurrentGuarantee();
+  EXPECT_NEAR(guarantee.epsilon, 0.4, 1e-12);
+  EXPECT_EQ(service->ledger().size(), granted);
+}
+
+TEST(QueryServiceTest, SessionLifecycle) {
+  auto service = *QueryService::Create(TestEngine(1.0), {});
+  const auto session = service->OpenSession("alice");
+  EXPECT_TRUE(service->CloseSession(session).ok());
+  EXPECT_FALSE(service->CloseSession(session).ok());
+  EXPECT_FALSE(service->session_remaining(session).ok());
+  auto after_close = service->AnswerCount(session, Predicate::True(), 0.1);
+  EXPECT_FALSE(after_close.ok());
+}
+
+TEST(QueryServiceConcurrencyTest, ConcurrentSessionsNeverOverspend) {
+  // The TSan centerpiece: many analyst threads hammer the service while the
+  // scans themselves shard over a small pool. Afterwards the books must
+  // balance exactly: spent = Σ granted ε ≤ ε_total, one ledger entry per
+  // success, and the composed guarantee equal to the spent total.
+  ThreadPool pool(2);
+  QueryService::Options opts;
+  opts.pool = &pool;
+  opts.per_session_epsilon = 1.0;
+  constexpr double kTotal = 2.0;
+  constexpr double kEps = 0.05;
+  auto service = *QueryService::Create(TestEngine(kTotal, 500), opts);
+
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 12;
+  std::atomic<int> granted{0};
+  std::vector<std::thread> analysts;
+  analysts.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    analysts.emplace_back([&, t] {
+      const auto session =
+          service->OpenSession("analyst-" + std::to_string(t));
+      std::vector<ServiceRequest> batch;
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        batch.emplace_back(CountRequest{
+            Predicate::Le("age", Value(20 + (t * 7 + q) % 60)), kEps});
+      }
+      for (const auto& result : service->AnswerBatch(session, batch)) {
+        if (result.ok()) {
+          granted.fetch_add(1);
+        } else {
+          EXPECT_EQ(result.status().code(), StatusCode::kBudgetExhausted)
+              << result.status().ToString();
+        }
+      }
+    });
+  }
+  for (std::thread& t : analysts) t.join();
+
+  const double spent = kTotal - service->remaining_budget();
+  EXPECT_NEAR(spent, granted.load() * kEps, 1e-9);
+  EXPECT_LE(spent, kTotal + 1e-9);
+  EXPECT_EQ(service->ledger().size(), static_cast<size_t>(granted.load()));
+  const ComposedGuarantee guarantee = *service->CurrentGuarantee();
+  EXPECT_NEAR(guarantee.epsilon, spent, 1e-9);
+  // 8 threads × 12 × 0.05 = 4.8 demanded vs 2.0 total: contention happened.
+  EXPECT_LT(granted.load(), kThreads * kQueriesPerThread);
+}
+
+TEST(QueryServiceConcurrencyTest, PerSessionStreamsAreInterleavingInvariant) {
+  // Each session's answers depend only on its own submission order, not on
+  // what other sessions do in parallel. Run session "solo" serially, then
+  // re-run the same queries while 3 noisy sessions hammer the service from
+  // other threads — solo's answers must be bit-identical.
+  // Session ids increment per OpenSession, and solo's noise stream derives
+  // from (root seed, session id, seq) — so open every session serially up
+  // front to give "solo" the same id in both runs, then let the noise
+  // sessions hammer from other threads only in the contended run. Noise
+  // spend is bounded by their per-session budgets (3 × 1.0), so the shared
+  // service budget can never refuse solo's charges.
+  const auto run_solo = [](QueryService& service, bool with_noise) {
+    std::vector<QueryService::SessionId> noise_ids;
+    for (int t = 0; t < 3; ++t) {
+      noise_ids.push_back(service.OpenSession("noise-" + std::to_string(t)));
+    }
+    const auto solo = service.OpenSession("solo");
+
+    std::vector<std::thread> noise;
+    std::atomic<bool> stop{false};
+    if (with_noise) {
+      for (const auto id : noise_ids) {
+        noise.emplace_back([&service, &stop, id] {
+          while (!stop.load()) {
+            service.AnswerCount(id, Predicate::Le("age", Value(50)), 0.001);
+          }
+        });
+      }
+    }
+    std::vector<double> answers;
+    for (int q = 0; q < 10; ++q) {
+      auto r = service.AnswerCount(
+          solo, Predicate::Le("age", Value(30 + q)), 0.01);
+      answers.push_back(r.ok() ? r->count : -1.0);
+    }
+    stop.store(true);
+    for (std::thread& t : noise) t.join();
+    return answers;
+  };
+
+  ThreadPool pool(2);
+  QueryService::Options opts;
+  opts.pool = &pool;
+  opts.per_session_epsilon = 1.0;
+
+  auto quiet = *QueryService::Create(TestEngine(1000.0, 500), opts);
+  const std::vector<double> baseline = run_solo(*quiet, false);
+
+  auto noisy = *QueryService::Create(TestEngine(1000.0, 500), opts);
+  const std::vector<double> contended = run_solo(*noisy, true);
+
+  EXPECT_EQ(contended, baseline);
+}
+
+}  // namespace
+}  // namespace osdp
