@@ -1,0 +1,335 @@
+// Streaming ingest benchmark: rows/sec through the snapshot-isolated write
+// path, and reader throughput while the dataset moves underneath.
+//
+//   append        TableBuilder::Append alone (batch-proportional work:
+//                 columnar concat + incremental policy classification), no
+//                 snapshot cut — the marginal cost of accepting a batch.
+//   ingest        QueryService::Ingest = append + BuildSnapshot + atomic
+//                 publish. BuildSnapshot copies the accumulated columns, so
+//                 this is O(total rows) per batch by design — the honest
+//                 price of immutable snapshots; the table shows how it
+//                 amortizes with batch size.
+//   mixed         one writer thread ingesting batches while analyst
+//                 sessions stream count queries: ingest rows/sec and
+//                 queries/sec under contention.
+//
+// Cross-checks (any failure exits non-zero; the ctest smoke run relies on
+// this):
+//   * after every run, the final snapshot's non-sensitive mask must be
+//     bit-identical to a from-scratch Policy::NonSensitiveRowMask over an
+//     independently rebuilt table;
+//   * every answer recorded during the mixed phase must be bit-identical to
+//     a serial replay of its (generation, session, seq) — the same property
+//     tests/query_service_test.cc pins, exercised here at bench scale.
+//
+// Knobs: OSDP_BENCH_MAX_ROWS caps the ingested-row grid (default 1M; the CI
+// smoke run uses 50000), OSDP_BENCH_THREADS the mixed-phase pool size
+// (default 2), OSDP_BENCH_JSON the output path (default BENCH_ingest.json).
+// The JSON records hardware_concurrency so flat concurrency numbers on a
+// starved machine read as what they are.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/benchdata/table_gen.h"
+#include "src/common/distributions.h"
+#include "src/common/random.h"
+#include "src/core/engine.h"
+#include "src/data/compiled_predicate.h"
+#include "src/data/predicate.h"
+#include "src/data/table_builder.h"
+#include "src/eval/table_printer.h"
+#include "src/policy/policy.h"
+#include "src/runtime/query_service.h"
+#include "src/runtime/thread_pool.h"
+
+using namespace osdp;
+
+namespace {
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Policy BenchPolicy() {
+  return Policy::SensitiveWhen(
+      Predicate::Or(Predicate::Eq("opt_in", Value(0)),
+                    Predicate::Lt("age", Value(18))),
+      "bench_policy");
+}
+
+Table CensusRows(size_t rows, uint64_t seed) {
+  CensusTableOptions opts;
+  opts.num_rows = rows;
+  opts.seed = seed;
+  return MakeCensusTable(opts);
+}
+
+constexpr size_t kSeedRows = 10000;
+constexpr uint64_t kSeedSeed = 0x05D9;
+constexpr uint64_t kRootSeed = 0x16E5;
+
+OsdpEngine BenchEngine() {
+  OsdpEngine::Options eopts;
+  eopts.total_epsilon = 1e9;  // throughput bench, not a budget bench
+  return *OsdpEngine::Create(CensusRows(kSeedRows, kSeedSeed), BenchPolicy(),
+                             eopts);
+}
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "BIT-IDENTITY VIOLATION: %s\n", what);
+  return 1;
+}
+
+struct Measurement {
+  std::string op;
+  size_t batch_rows = 0;
+  size_t total_rows = 0;   // rows ingested during the measurement
+  size_t generations = 0;  // snapshots published
+  size_t queries = 0;      // mixed phase only
+  double sec = 0.0;
+  double rows_per_sec = 0.0;
+  double queries_per_sec = 0.0;
+};
+
+// Rebuilds the dataset as of `generation` from the deterministic batch
+// stream and checks `snapshot` against a from-scratch classification.
+bool SnapshotMatchesRebuild(const Snapshot& snapshot, size_t batch_rows,
+                            uint64_t batch_seed_base) {
+  Table rebuilt = CensusRows(kSeedRows, kSeedSeed);
+  for (uint64_t g = 1; g <= snapshot.generation; ++g) {
+    if (!rebuilt.AppendRows(CensusRows(batch_rows, batch_seed_base + g)).ok()) {
+      return false;
+    }
+  }
+  return rebuilt.num_rows() == snapshot.table.num_rows() &&
+         BenchPolicy().NonSensitiveRowMask(rebuilt) == snapshot.non_sensitive;
+}
+
+}  // namespace
+
+int main() {
+  const char* max_rows_env = std::getenv("OSDP_BENCH_MAX_ROWS");
+  const size_t max_rows =
+      max_rows_env ? static_cast<size_t>(std::atoll(max_rows_env)) : 1000000;
+  const char* threads_env = std::getenv("OSDP_BENCH_THREADS");
+  const size_t mixed_threads =
+      threads_env ? static_cast<size_t>(std::atoll(threads_env)) : 2;
+
+  std::vector<Measurement> results;
+  const Policy policy = BenchPolicy();
+
+  std::printf("=== streaming ingest: rows/sec through the snapshot path ===\n");
+  std::printf("(hardware_concurrency=%u; ingested rows capped at %zu)\n\n",
+              std::thread::hardware_concurrency(), max_rows);
+
+  // --- append / ingest, by batch size ----------------------------------
+  TextTable text({"batch rows", "total rows", "append rows/s",
+                  "ingest rows/s", "publish overhead"});
+  for (size_t batch_rows : {size_t{1000}, size_t{10000}, size_t{100000}}) {
+    // Cap the generation count so the O(total) per-publish copy keeps the
+    // quadratic total cost bounded at small batch sizes.
+    const size_t total =
+        std::min(max_rows, batch_rows * size_t{100});
+    if (batch_rows > total) continue;
+    const size_t batches = total / batch_rows;
+    if (batches == 0) continue;
+
+    // Pre-generate the batches: measure the ingest path, not the generator.
+    std::vector<Table> batch_tables;
+    batch_tables.reserve(batches);
+    for (size_t g = 1; g <= batches; ++g) {
+      batch_tables.push_back(CensusRows(batch_rows, 0xB000 + g));
+    }
+
+    // append: builder only, no snapshot cut.
+    TableBuilder builder =
+        *TableBuilder::Create(CensusRows(kSeedRows, kSeedSeed), policy);
+    const double t0 = NowSec();
+    for (const Table& batch : batch_tables) {
+      if (!builder.Append(batch).ok()) return Fail("append status");
+    }
+    const double append_sec = NowSec() - t0;
+    if (!SnapshotMatchesRebuild(*builder.BuildSnapshot(batches), batch_rows,
+                                0xB000)) {
+      return Fail("append-only incremental mask vs rebuild");
+    }
+    results.push_back({"append", batch_rows, batches * batch_rows, 0, 0,
+                       append_sec,
+                       static_cast<double>(batches * batch_rows) / append_sec,
+                       0.0});
+
+    // ingest: full QueryService path, one published snapshot per batch.
+    auto service = *QueryService::Create(BenchEngine(), {});
+    const double t1 = NowSec();
+    for (const Table& batch : batch_tables) {
+      if (!service->Ingest(batch).ok()) return Fail("ingest status");
+    }
+    const double ingest_sec = NowSec() - t1;
+    if (service->current_generation() != batches) return Fail("generation");
+    if (!SnapshotMatchesRebuild(*service->current_snapshot(), batch_rows,
+                                0xB000)) {
+      return Fail("published snapshot vs rebuild");
+    }
+    results.push_back({"ingest", batch_rows, batches * batch_rows, batches, 0,
+                       ingest_sec,
+                       static_cast<double>(batches * batch_rows) / ingest_sec,
+                       0.0});
+
+    text.AddRow({std::to_string(batch_rows), std::to_string(total),
+                 TextTable::FmtAuto(static_cast<double>(total) / append_sec),
+                 TextTable::FmtAuto(static_cast<double>(total) / ingest_sec),
+                 TextTable::Fmt(ingest_sec / append_sec, 1) + "x"});
+  }
+  std::printf("%s\n", text.ToString().c_str());
+
+  // --- mixed: writer vs analyst sessions --------------------------------
+  {
+    constexpr size_t kMixedBatchRows = 5000;
+    const size_t batches =
+        std::max<size_t>(1, std::min(max_rows, size_t{100000}) /
+                                kMixedBatchRows);
+    constexpr int kSessions = 2;
+    constexpr double kEps = 1e-4;
+
+    ThreadPool pool(mixed_threads);
+    QueryService::Options sopts;
+    sopts.pool = &pool;
+    sopts.per_session_epsilon = 1e8;
+    sopts.seed = kRootSeed;
+    auto service = *QueryService::Create(BenchEngine(), sopts);
+    std::vector<QueryService::SessionId> sessions;
+    for (int s = 0; s < kSessions; ++s) {
+      sessions.push_back(service->OpenSession("s" + std::to_string(s)));
+    }
+
+    std::vector<Table> batch_tables;
+    batch_tables.reserve(batches);
+    for (size_t g = 1; g <= batches; ++g) {
+      batch_tables.push_back(CensusRows(kMixedBatchRows, 0xC000 + g));
+    }
+
+    struct Recorded {
+      uint64_t generation;
+      double count;
+    };
+    std::vector<std::vector<Recorded>> recorded(kSessions);
+    std::atomic<bool> done{false};
+
+    const double t0 = NowSec();
+    std::thread writer([&] {
+      for (const Table& batch : batch_tables) {
+        if (!service->Ingest(batch).ok()) std::abort();
+      }
+      done.store(true);
+    });
+    std::vector<std::thread> readers;
+    for (int s = 0; s < kSessions; ++s) {
+      readers.emplace_back([&, s] {
+        int q = 0;
+        while (!done.load() || q == 0) {  // at least one query each
+          auto answer = service->AnswerCount(
+              sessions[s],
+              Predicate::Le("age", Value(10 + (7 * s + 13 * q) % 80)), kEps);
+          if (!answer.ok()) std::abort();
+          recorded[s].push_back({answer->generation, answer->count});
+          ++q;
+        }
+      });
+    }
+    writer.join();
+    for (std::thread& t : readers) t.join();
+    const double mixed_sec = NowSec() - t0;
+
+    if (!SnapshotMatchesRebuild(*service->current_snapshot(), kMixedBatchRows,
+                                0xC000)) {
+      return Fail("mixed-phase snapshot vs rebuild");
+    }
+
+    // Serial replay of every recorded (generation, session, seq) answer.
+    std::vector<Table> generations;
+    generations.push_back(CensusRows(kSeedRows, kSeedSeed));
+    for (size_t g = 1; g <= batches; ++g) {
+      Table next = generations.back();
+      if (!next.AppendRows(batch_tables[g - 1]).ok()) {
+        return Fail("replay rebuild");
+      }
+      generations.push_back(std::move(next));
+    }
+    std::vector<RowMask> ns_masks;
+    ns_masks.reserve(generations.size());
+    for (const Table& t : generations) {
+      ns_masks.push_back(policy.NonSensitiveRowMask(t));
+    }
+    size_t queries = 0;
+    for (int s = 0; s < kSessions; ++s) {
+      for (size_t q = 0; q < recorded[s].size(); ++q) {
+        const Recorded& rec = recorded[s][q];
+        const Table& table = generations[rec.generation];
+        RowMask matching =
+            CompiledPredicate::Compile(
+                Predicate::Le("age",
+                              Value(10 + (7 * s + 13 * static_cast<int>(q)) %
+                                             80)),
+                table.schema())
+                ->EvalMask(table);
+        matching.AndWith(ns_masks[rec.generation]);
+        Rng rng(QueryService::QuerySeed(kRootSeed, sessions[s], q,
+                                        rec.generation));
+        const double expected = static_cast<double>(matching.Count()) +
+                                SampleOneSidedLaplace(rng, 1.0 / kEps);
+        if (rec.count != expected) return Fail("mixed-phase serial replay");
+        ++queries;
+      }
+    }
+
+    const size_t ingested = batches * kMixedBatchRows;
+    results.push_back({"mixed", kMixedBatchRows, ingested, batches, queries,
+                       mixed_sec, static_cast<double>(ingested) / mixed_sec,
+                       static_cast<double>(queries) / mixed_sec});
+    std::printf(
+        "mixed (%zu pool threads): %zu rows over %zu generations + %zu "
+        "queries from %d sessions in %.3gs (%.3g rows/s, %.3g q/s); all "
+        "answers bit-identical to serial replay\n\n",
+        mixed_threads, ingested, batches, queries, kSessions, mixed_sec,
+        static_cast<double>(ingested) / mixed_sec,
+        static_cast<double>(queries) / mixed_sec);
+  }
+
+  // JSON artefact.
+  const char* json_env = std::getenv("OSDP_BENCH_JSON");
+  const std::string json_path = json_env ? json_env : "BENCH_ingest.json";
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"ingest\",\n"
+               "  \"hardware_concurrency\": %u,\n  \"results\": [\n",
+               std::thread::hardware_concurrency());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    std::fprintf(
+        f,
+        "    {\"op\": \"%s\", \"batch_rows\": %zu, \"total_rows\": %zu, "
+        "\"generations\": %zu, \"queries\": %zu, \"sec\": %.6g, "
+        "\"rows_per_sec\": %.6g, \"queries_per_sec\": %.6g}%s\n",
+        m.op.c_str(), m.batch_rows, m.total_rows, m.generations, m.queries,
+        m.sec, m.rows_per_sec, m.queries_per_sec,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu measurements)\n", json_path.c_str(),
+              results.size());
+  return 0;
+}

@@ -5,8 +5,8 @@
 namespace osdp {
 
 void CompositionLedger::Record(const Policy& policy, double epsilon,
-                               std::string label) {
-  entries_.push_back({policy, epsilon, std::move(label)});
+                               std::string label, uint64_t generation) {
+  entries_.push_back({policy, epsilon, std::move(label), generation});
 }
 
 Result<ComposedGuarantee> CompositionLedger::Sequential() const {

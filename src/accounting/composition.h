@@ -9,6 +9,7 @@
 #ifndef OSDP_ACCOUNTING_COMPOSITION_H_
 #define OSDP_ACCOUNTING_COMPOSITION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,8 +27,13 @@ struct ComposedGuarantee {
 /// \brief Accumulates (policy, ε) charges and answers composition queries.
 class CompositionLedger {
  public:
-  /// Records one mechanism invocation with its OSDP guarantee.
-  void Record(const Policy& policy, double epsilon, std::string label = "");
+  /// Records one mechanism invocation with its OSDP guarantee. `generation`
+  /// is the dataset snapshot generation the release was computed against
+  /// (0 for a static dataset) — streaming front-ends record it so the audit
+  /// trail names the exact sensitive/non-sensitive split each ε was charged
+  /// under.
+  void Record(const Policy& policy, double epsilon, std::string label = "",
+              uint64_t generation = 0);
 
   /// Number of recorded invocations.
   size_t size() const { return entries_.size(); }
@@ -46,6 +52,8 @@ class CompositionLedger {
     Policy policy;
     double epsilon;
     std::string label;
+    /// Snapshot generation the release was charged against (0 = static).
+    uint64_t generation = 0;
   };
   const std::vector<Entry>& entries() const { return entries_; }
 

@@ -77,10 +77,12 @@ class SharedBudget {
 /// sessions charge through.
 class SharedLedger {
  public:
-  /// Atomically appends one (policy, ε) invocation record.
-  void Record(const Policy& policy, double epsilon, std::string label = "") {
+  /// Atomically appends one (policy, ε) invocation record; `generation` is
+  /// the dataset snapshot generation the release was charged against.
+  void Record(const Policy& policy, double epsilon, std::string label = "",
+              uint64_t generation = 0) {
     std::lock_guard<std::mutex> lock(mu_);
-    ledger_.Record(policy, epsilon, std::move(label));
+    ledger_.Record(policy, epsilon, std::move(label), generation);
   }
 
   size_t size() const {

@@ -1,5 +1,6 @@
 #include "src/core/engine.h"
 
+#include <memory>
 #include <utility>
 
 #include "src/common/distributions.h"
@@ -27,12 +28,15 @@ const char* EngineMechanismToString(EngineMechanism m) {
 }
 
 OsdpEngine::OsdpEngine(Table data, Policy policy, Options options)
-    : data_(std::move(data)),
-      policy_(std::move(policy)),
+    : policy_(std::move(policy)),
       options_(options),
       budget_(options.total_epsilon),
       rng_(options.seed) {
-  ns_mask_ = policy_.NonSensitiveRowMask(data_);
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->generation = 0;
+  snapshot->table = std::move(data);
+  snapshot->non_sensitive = policy_.NonSensitiveRowMask(snapshot->table);
+  snapshot_ = std::move(snapshot);
 }
 
 Result<OsdpEngine> OsdpEngine::Create(Table data, Policy policy,
@@ -48,7 +52,7 @@ Result<OsdpEngine> OsdpEngine::Create(Table data, Policy policy,
 
 Result<Table> OsdpEngine::ReleaseSample(double epsilon) {
   OSDP_RETURN_IF_ERROR(budget_.Spend(epsilon, "OsdpRR sample"));
-  auto released = OsdpRRRelease(data_, policy_, epsilon, rng_);
+  auto released = OsdpRRRelease(data(), policy_, epsilon, rng_);
   if (!released.ok()) return released.status();
   ledger_.Record(policy_, epsilon, "OsdpRR sample");
   return released;
@@ -88,9 +92,9 @@ Result<Histogram> OsdpEngine::AnswerHistogram(const HistogramQuery& query,
                                               EngineMechanism mechanism) {
   // Compute the histograms *before* charging: a malformed query must not
   // burn budget.
-  OSDP_ASSIGN_OR_RETURN(Histogram x, ComputeHistogram(data_, query));
-  OSDP_ASSIGN_OR_RETURN(Histogram xns,
-                        ComputeHistogramMasked(data_, query, ns_mask_));
+  OSDP_ASSIGN_OR_RETURN(Histogram x, ComputeHistogram(data(), query));
+  OSDP_ASSIGN_OR_RETURN(
+      Histogram xns, ComputeHistogramMasked(data(), query, non_sensitive_mask()));
 
   Result<Histogram> out = RunMechanism(x, xns, epsilon, mechanism, rng_);
   if (!out.ok()) return out.status();
@@ -104,9 +108,9 @@ Result<double> OsdpEngine::AnswerCount(const Predicate& where, double epsilon) {
     return Status::InvalidArgument("epsilon must be positive");
   }
   OSDP_ASSIGN_OR_RETURN(CompiledPredicate compiled,
-                        CompiledPredicate::Compile(where, data_.schema()));
-  RowMask matching = compiled.EvalMask(data_);
-  matching.AndWith(ns_mask_);
+                        CompiledPredicate::Compile(where, data().schema()));
+  RowMask matching = compiled.EvalMask(data());
+  matching.AndWith(non_sensitive_mask());
   const double count = static_cast<double>(matching.Count());
   OSDP_RETURN_IF_ERROR(ChargeRelease(epsilon, "count query"));
   // One-sided Laplace with sensitivity 1: a one-sided neighbor can only

@@ -15,6 +15,7 @@
 #include "src/common/random.h"
 #include "src/common/result.h"
 #include "src/data/row_mask.h"
+#include "src/data/snapshot.h"
 #include "src/data/table.h"
 #include "src/hist/histogram.h"
 #include "src/hist/histogram_query.h"
@@ -87,11 +88,21 @@ class OsdpEngine {
   /// guarantee. Not thread-safe; callers serialize externally.
   Status ChargeRelease(double epsilon, const std::string& label);
 
-  /// The guarded dataset (borrowed; valid for the engine's lifetime).
-  const Table& data() const { return data_; }
+  /// \brief The engine's dataset snapshot: table + cached policy mask +
+  /// generation id, immutable and shareable. Create() cuts generation 0
+  /// from the table it was given; streaming front-ends (QueryService) seed
+  /// their snapshot store from this and publish later generations
+  /// themselves — the engine's serial Answer* methods always run against
+  /// this snapshot.
+  const SnapshotPtr& snapshot() const { return snapshot_; }
 
-  /// The cached non-sensitive row mask (batch-classified at construction).
-  const RowMask& non_sensitive_mask() const { return ns_mask_; }
+  /// The guarded dataset (borrowed from the snapshot; valid as long as any
+  /// holder keeps the snapshot alive — at least the engine's lifetime).
+  const Table& data() const { return snapshot_->table; }
+
+  /// The cached non-sensitive row mask (batch-classified at construction,
+  /// immutable within the snapshot).
+  const RowMask& non_sensitive_mask() const { return snapshot_->non_sensitive; }
 
   /// The engine configuration.
   const Options& options() const { return options_; }
@@ -107,7 +118,7 @@ class OsdpEngine {
   Result<ComposedGuarantee> CurrentGuarantee() const;
 
   /// Number of rows in the guarded dataset.
-  size_t num_rows() const { return data_.num_rows(); }
+  size_t num_rows() const { return snapshot_->table.num_rows(); }
 
   /// The active policy.
   const Policy& policy() const { return policy_; }
@@ -115,13 +126,12 @@ class OsdpEngine {
  private:
   OsdpEngine(Table data, Policy policy, Options options);
 
-  Table data_;
+  SnapshotPtr snapshot_;  // generation-0 view: table + cached policy mask
   Policy policy_;
   Options options_;
   PrivacyBudget budget_;
   CompositionLedger ledger_;
   Rng rng_;
-  RowMask ns_mask_;  // cached non-sensitive row mask (batch-classified once)
 };
 
 /// Name of an EngineMechanism ("Laplace", "DAWAz", ...).

@@ -19,11 +19,13 @@ Result<std::vector<std::vector<std::string>>> SplitCsv(
   std::string field;
   bool in_quotes = false;
   bool field_started = false;
+  bool field_quoted = false;  // a closing quote must end the field
   size_t i = 0;
   auto end_field = [&]() {
     row.push_back(std::move(field));
     field.clear();
     field_started = false;
+    field_quoted = false;
   };
   auto end_row = [&]() {
     end_field();
@@ -50,12 +52,15 @@ Result<std::vector<std::vector<std::string>>> SplitCsv(
     }
     switch (c) {
       case '"':
-        if (!field.empty()) {
+        // A quote may only *open* a field; `x"y` and `"x""` (re-opening a
+        // closed quoted field) are malformed, not data.
+        if (field_started) {
           return Status::InvalidArgument(
               "quote inside unquoted field near position " + std::to_string(i));
         }
         in_quotes = true;
         field_started = true;
+        field_quoted = true;
         ++i;
         break;
       case ',':
@@ -63,6 +68,13 @@ Result<std::vector<std::vector<std::string>>> SplitCsv(
         ++i;
         break;
       case '\r':
+        // Only the CR of a CRLF line ending; a bare CR inside a field would
+        // otherwise be silently deleted from the data.
+        if (i + 1 >= text.size() || text[i + 1] != '\n') {
+          return Status::InvalidArgument(
+              "bare carriage return (not part of CRLF) at position " +
+              std::to_string(i));
+        }
         ++i;
         break;
       case '\n':
@@ -70,6 +82,13 @@ Result<std::vector<std::vector<std::string>>> SplitCsv(
         ++i;
         break;
       default:
+        if (field_quoted) {
+          // `"x"y`: data after the closing quote would be silently glued to
+          // the field if accepted — reject it instead.
+          return Status::InvalidArgument(
+              "unquoted character after closing quote near position " +
+              std::to_string(i));
+        }
         field += c;
         field_started = true;
         ++i;

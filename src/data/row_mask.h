@@ -63,6 +63,18 @@ class RowMask {
     }
   }
 
+  /// \brief Grows the mask to cover `new_size` rows (>= size()); existing
+  /// bits are preserved and the new bits are zero. This is the streaming
+  /// ingest primitive: TableBuilder extends the policy mask in place as
+  /// batches arrive, then evaluates only the appended rows.
+  void Resize(size_t new_size) {
+    OSDP_CHECK(new_size >= size_);
+    // Bits past the old size() were kept zero by the class invariant, so
+    // growing is just sizing the word vector; no bit surgery needed.
+    size_ = new_size;
+    words_.resize(NumWords(new_size), 0);
+  }
+
   /// Sets every bit to `value`.
   void SetAll(bool value) {
     std::fill(words_.begin(), words_.end(), value ? ~uint64_t{0} : 0);

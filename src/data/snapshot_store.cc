@@ -1,0 +1,28 @@
+#include "src/data/snapshot_store.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace osdp {
+
+SnapshotStore::SnapshotStore(SnapshotPtr initial) {
+  OSDP_CHECK(initial != nullptr);
+  std::atomic_store(&current_, std::move(initial));
+}
+
+SnapshotPtr SnapshotStore::Current() const {
+  return std::atomic_load(&current_);
+}
+
+void SnapshotStore::Publish(SnapshotPtr next) {
+  OSDP_CHECK(next != nullptr);
+  // Publications are externally serialized, so this read-then-swap pair is
+  // not racing another writer; the check is a monotonicity guard, not
+  // synchronization.
+  OSDP_DCHECK(next->generation > std::atomic_load(&current_)->generation);
+  std::atomic_store(&current_, std::move(next));
+}
+
+}  // namespace osdp

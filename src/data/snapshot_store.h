@@ -1,0 +1,43 @@
+// SnapshotStore: the publication point between one writer and many readers.
+//
+// The writer builds a complete Snapshot (TableBuilder) and publishes it with
+// a single atomic pointer swap; readers capture the current snapshot with a
+// single atomic load and then never look at the store again for that query.
+// There is no reader-writer lock and no copy on the read path — isolation
+// comes entirely from snapshot immutability plus the atomicity of the swap:
+// a reader sees either the old generation in full or the new one in full,
+// never a mixture (the "no torn masks" property the streaming stress test
+// pins).
+
+#ifndef OSDP_DATA_SNAPSHOT_STORE_H_
+#define OSDP_DATA_SNAPSHOT_STORE_H_
+
+#include "src/data/snapshot.h"
+
+namespace osdp {
+
+/// \brief Single-writer, many-reader holder of the current Snapshot.
+///
+/// Current() may be called from any thread at any time. Publish() is the
+/// writer's: callers serialize publications externally (QueryService does,
+/// under its ingest mutex) so generations advance monotonically.
+class SnapshotStore {
+ public:
+  /// Starts at `initial` (must be non-null).
+  explicit SnapshotStore(SnapshotPtr initial);
+
+  /// The latest published snapshot (atomic load; never null).
+  SnapshotPtr Current() const;
+
+  /// Atomically swaps in `next` (must be non-null, with a generation
+  /// strictly greater than the current one). Readers that captured the old
+  /// snapshot keep it alive through their shared_ptr.
+  void Publish(SnapshotPtr next);
+
+ private:
+  SnapshotPtr current_;  // accessed only via std::atomic_load/atomic_store
+};
+
+}  // namespace osdp
+
+#endif  // OSDP_DATA_SNAPSHOT_STORE_H_

@@ -87,6 +87,31 @@ Status Table::AppendRow(const Row& row) {
   return Status::OK();
 }
 
+Status Table::AppendRows(const Table& other) {
+  if (!(other.schema_ == schema_)) {
+    return Status::InvalidArgument("cannot append rows of schema " +
+                                   other.schema_.ToString() +
+                                   " to a table of schema " +
+                                   schema_.ToString());
+  }
+  if (&other == this) {
+    // Self-append: inserting a vector's own range into itself is UB once it
+    // reallocates, so double through a copy.
+    return AppendRows(Table(other));
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::visit(
+        [&](auto& dst) {
+          const auto& src =
+              std::get<std::decay_t<decltype(dst)>>(other.columns_[c]);
+          dst.insert(dst.end(), src.begin(), src.end());
+        },
+        columns_[c]);
+  }
+  num_rows_ += other.num_rows_;
+  return Status::OK();
+}
+
 void Table::AppendRowUnchecked(const Row& row) {
   OSDP_DCHECK(row.size() == schema_.num_fields());
   for (size_t i = 0; i < row.size(); ++i) {

@@ -52,6 +52,12 @@ class Table {
   /// Appends a row; errors if arity or any cell type mismatches the schema.
   Status AppendRow(const Row& row);
 
+  /// \brief Appends every row of `other` (whose schema must equal this
+  /// table's), column-at-a-time — one typed bulk insert per column, no
+  /// Value boxing. This is the streaming-ingest concatenation primitive:
+  /// batch cost is proportional to the batch, not the accumulated table.
+  Status AppendRows(const Table& other);
+
   /// Appends a row without validation (hot path; caller guarantees types).
   void AppendRowUnchecked(const Row& row);
 

@@ -1,0 +1,56 @@
+#include "src/data/table_builder.h"
+
+#include <memory>
+#include <utility>
+
+namespace osdp {
+
+Result<TableBuilder> TableBuilder::Create(Table seed, const Policy& policy) {
+  OSDP_ASSIGN_OR_RETURN(
+      CompiledPredicate sensitive,
+      CompiledPredicate::Compile(policy.sensitive_predicate(), seed.schema()));
+  RowMask mask = sensitive.EvalMask(seed);
+  return TableBuilder(std::move(seed), std::move(sensitive), std::move(mask));
+}
+
+Result<TableBuilder> TableBuilder::FromSnapshot(const Snapshot& snapshot,
+                                                const Policy& policy) {
+  OSDP_ASSIGN_OR_RETURN(CompiledPredicate sensitive,
+                        CompiledPredicate::Compile(policy.sensitive_predicate(),
+                                                   snapshot.table.schema()));
+  RowMask mask = snapshot.non_sensitive;
+  mask.FlipAll();
+  return TableBuilder(snapshot.table, std::move(sensitive), std::move(mask));
+}
+
+Status TableBuilder::Append(const RowBatch& batch) {
+  if (!(batch.schema() == table_.schema())) {
+    return Status::InvalidArgument(
+        "batch schema " + batch.schema().ToString() +
+        " differs from dataset schema " + table_.schema().ToString());
+  }
+  if (batch.num_rows() == 0) return Status::OK();
+
+  const size_t old_rows = table_.num_rows();
+  OSDP_RETURN_IF_ERROR(table_.AppendRows(batch));
+
+  // Classify only the appended rows. EvalRangeInto needs a word-aligned
+  // start, so begin at the last word boundary at or before the old end; the
+  // handful of old rows in that word are recomputed to the same bits (the
+  // evaluation is deterministic), and everything before it is untouched.
+  sensitive_mask_.Resize(table_.num_rows());
+  const size_t begin = old_rows & ~size_t{63};
+  sensitive_.EvalRangeInto(table_, begin, table_.num_rows(), &sensitive_mask_);
+  return Status::OK();
+}
+
+SnapshotPtr TableBuilder::BuildSnapshot(uint64_t generation) const {
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->generation = generation;
+  snapshot->table = table_;
+  snapshot->non_sensitive = sensitive_mask_;
+  snapshot->non_sensitive.FlipAll();
+  return snapshot;
+}
+
+}  // namespace osdp

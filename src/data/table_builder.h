@@ -1,0 +1,81 @@
+// TableBuilder: the single-writer accumulation side of the streaming ingest
+// path. Appends row batches to a growing table, classifies each batch with
+// the policy's compiled predicate incrementally (only the appended rows are
+// scanned), and cuts immutable Snapshots on demand.
+//
+// The builder itself is *not* thread-safe — it is the writer's private
+// state. Thread-safety lives one level up: the writer serializes Append +
+// BuildSnapshot, and readers only ever see the immutable snapshots it
+// publishes (through a SnapshotStore).
+
+#ifndef OSDP_DATA_TABLE_BUILDER_H_
+#define OSDP_DATA_TABLE_BUILDER_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/data/compiled_predicate.h"
+#include "src/data/row_mask.h"
+#include "src/data/snapshot.h"
+#include "src/data/table.h"
+#include "src/policy/policy.h"
+
+namespace osdp {
+
+/// A batch of rows to ingest: a table with the same schema as the dataset.
+/// Build one with Table::FromColumns (bulk) or Table::AppendRow (trickle).
+using RowBatch = Table;
+
+/// \brief Accumulates appended row batches and their policy classification,
+/// and cuts immutable Snapshots of the current state.
+///
+/// The sensitivity predicate is compiled once at construction; each Append
+/// evaluates it over just the new rows (CompiledPredicate::EvalRangeInto
+/// from the last word boundary), so ingest cost is proportional to the batch,
+/// not the accumulated table. BuildSnapshot copies the accumulated columns —
+/// that copy is the immutability boundary that lets readers keep scanning an
+/// old generation while the builder grows.
+class TableBuilder {
+ public:
+  /// Seeds the builder with `seed` (which becomes the generation-0 contents)
+  /// and compiles `policy`'s sensitivity predicate against its schema.
+  /// Errors if the predicate does not type-check against the schema.
+  static Result<TableBuilder> Create(Table seed, const Policy& policy);
+
+  /// Seeds the builder from an already-classified snapshot: adopts the
+  /// snapshot's mask (flipped back to sensitive-side) instead of re-scanning
+  /// the seed rows — the startup path for a service whose engine already
+  /// cut generation 0. `policy` must be the policy that produced the
+  /// snapshot's mask; only the predicate is (re)compiled, no rows are read.
+  static Result<TableBuilder> FromSnapshot(const Snapshot& snapshot,
+                                           const Policy& policy);
+
+  /// \brief Appends `batch` and classifies its rows incrementally.
+  /// InvalidArgument (and no mutation) if the batch schema differs from the
+  /// dataset schema. An empty batch is a no-op.
+  Status Append(const RowBatch& batch);
+
+  /// Rows accumulated so far.
+  size_t num_rows() const { return table_.num_rows(); }
+
+  /// \brief Cuts an immutable snapshot of the current contents, tagged
+  /// `generation`. The snapshot's non-sensitive mask is the complement of
+  /// the incrementally-maintained sensitive mask — bit-identical to a full
+  /// Policy::NonSensitiveRowMask recompute over the same rows (pinned by
+  /// tests/snapshot_test.cc).
+  SnapshotPtr BuildSnapshot(uint64_t generation) const;
+
+ private:
+  TableBuilder(Table table, CompiledPredicate sensitive, RowMask mask)
+      : table_(std::move(table)),
+        sensitive_(std::move(sensitive)),
+        sensitive_mask_(std::move(mask)) {}
+
+  Table table_;
+  CompiledPredicate sensitive_;  // the policy predicate, compiled once
+  RowMask sensitive_mask_;       // maintained incrementally per Append
+};
+
+}  // namespace osdp
+
+#endif  // OSDP_DATA_TABLE_BUILDER_H_

@@ -9,22 +9,23 @@
 
 namespace osdp {
 
-namespace {
-
 // Deterministic 64-bit seed mix; collision-resistance comes from Rng's
-// SplitMix64 seeding, this only needs to separate the (root, session, seq)
-// triples.
-uint64_t MixSeed(uint64_t root, uint64_t session, uint64_t seq) {
-  uint64_t z = root;
+// SplitMix64 seeding, this only needs to separate the
+// (root, session, seq, generation) tuples.
+uint64_t QueryService::QuerySeed(uint64_t root_seed, SessionId session,
+                                 uint64_t seq, uint64_t generation) {
+  uint64_t z = root_seed;
   z ^= session + 0x9E3779B97F4A7C15ULL + (z << 6) + (z >> 2);
   z ^= seq + 0x9E3779B97F4A7C15ULL + (z << 6) + (z >> 2);
+  z ^= generation + 0x9E3779B97F4A7C15ULL + (z << 6) + (z >> 2);
   return z;
 }
 
-}  // namespace
-
 struct QueryService::PreparedRequest {
   std::shared_ptr<Session> session;
+  // The snapshot captured at submission; everything below binds to it, and
+  // holding the pointer keeps the generation alive through execution.
+  SnapshotPtr snapshot;
   double epsilon = 0.0;
   uint64_t seed = 0;
   std::string label;
@@ -32,18 +33,20 @@ struct QueryService::PreparedRequest {
   // Count form: the WHERE clause, compiled during validation.
   std::optional<CompiledPredicate> count_pred;
 
-  // Histogram form: the query bound and validated against the table during
-  // reservation — execution reuses it, so the WHERE clause is compiled
-  // exactly once per query.
+  // Histogram form: the query bound and validated against the snapshot's
+  // table during validation — execution reuses it, so the WHERE clause is
+  // compiled exactly once per query.
   std::optional<PreparedHistogramQuery> hist_prepared;
   EngineMechanism mechanism = EngineMechanism::kOsdpLaplaceL1;
 };
 
-QueryService::QueryService(OsdpEngine engine, Options options)
+QueryService::QueryService(OsdpEngine engine, TableBuilder builder,
+                           Options options)
     : engine_(std::move(engine)),
       options_(options),
       service_budget_(engine_.remaining_budget()),
-      all_rows_(engine_.num_rows(), /*value=*/true) {}
+      store_(engine_.snapshot()),
+      builder_(std::move(builder)) {}
 
 Result<std::unique_ptr<QueryService>> QueryService::Create(OsdpEngine engine,
                                                            Options options) {
@@ -54,8 +57,15 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(OsdpEngine engine,
     return Status::InvalidArgument(
         "engine has no remaining budget to serve from");
   }
+  // The builder seeds from a copy of the engine's generation-0 snapshot
+  // (adopting its already-computed mask rather than re-scanning the seed
+  // rows) so the write path can grow while every published snapshot —
+  // including the engine's own — stays immutable.
+  OSDP_ASSIGN_OR_RETURN(
+      TableBuilder builder,
+      TableBuilder::FromSnapshot(*engine.snapshot(), engine.policy()));
   return std::unique_ptr<QueryService>(
-      new QueryService(std::move(engine), options));
+      new QueryService(std::move(engine), std::move(builder), options));
 }
 
 QueryService::SessionId QueryService::OpenSession(const std::string& analyst) {
@@ -76,6 +86,17 @@ Status QueryService::CloseSession(SessionId session) {
   return Status::OK();
 }
 
+Result<uint64_t> QueryService::Ingest(const RowBatch& batch) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  OSDP_RETURN_IF_ERROR(builder_.Append(batch));
+  // Build the complete next generation, then publish it with one atomic
+  // swap: a concurrent reader captures either the old snapshot in full or
+  // the new one in full, never a mixture.
+  const uint64_t generation = store_.Current()->generation + 1;
+  store_.Publish(builder_.BuildSnapshot(generation));
+  return generation;
+}
+
 std::shared_ptr<QueryService::Session> QueryService::FindSession(
     SessionId session) const {
   std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -92,8 +113,9 @@ Result<double> QueryService::session_remaining(SessionId session) const {
 }
 
 Result<QueryService::PreparedRequest> QueryService::Validate(
-    const ServiceRequest& request) const {
+    const ServiceRequest& request, const SnapshotPtr& snapshot) const {
   PreparedRequest prepared;
+  prepared.snapshot = snapshot;
 
   // Validate fully before touching either budget: a malformed query or a
   // non-positive ε must cost nothing.
@@ -103,7 +125,7 @@ Result<QueryService::PreparedRequest> QueryService::Validate(
     }
     OSDP_ASSIGN_OR_RETURN(
         CompiledPredicate compiled,
-        CompiledPredicate::Compile(count->where, engine_.data().schema()));
+        CompiledPredicate::Compile(count->where, snapshot->table.schema()));
     prepared.count_pred = std::move(compiled);
     prepared.epsilon = count->epsilon;
     prepared.label = "count query";
@@ -114,7 +136,7 @@ Result<QueryService::PreparedRequest> QueryService::Validate(
     }
     OSDP_ASSIGN_OR_RETURN(
         PreparedHistogramQuery bound,
-        PreparedHistogramQuery::Prepare(engine_.data(), hist.query));
+        PreparedHistogramQuery::Prepare(snapshot->table, hist.query));
     prepared.hist_prepared = std::move(bound);
     prepared.mechanism = hist.mechanism;
     prepared.epsilon = hist.epsilon;
@@ -137,20 +159,22 @@ Status QueryService::Reserve(Session& session, PreparedRequest* prepared) {
     return service_status;
   }
 
-  prepared->seed = MixSeed(options_.seed, session.id,
-                           session.next_seq.fetch_add(1));
+  prepared->seed =
+      QuerySeed(options_.seed, session.id, session.next_seq.fetch_add(1),
+                prepared->snapshot->generation);
   return Status::OK();
 }
 
 Result<ServiceAnswer> QueryService::Execute(const PreparedRequest& prepared) {
   const ParallelScanOptions scan{options_.pool, options_.num_shards};
+  const Snapshot& snap = *prepared.snapshot;
   Rng rng(prepared.seed);
   ServiceAnswer answer;
+  answer.generation = snap.generation;
 
   if (prepared.count_pred.has_value()) {
-    RowMask matching =
-        ParallelEvalMask(*prepared.count_pred, engine_.data(), scan);
-    ParallelAndWith(&matching, engine_.non_sensitive_mask(), scan);
+    RowMask matching = ParallelEvalMask(*prepared.count_pred, snap.table, scan);
+    ParallelAndWith(&matching, snap.non_sensitive, scan);
     const double count = static_cast<double>(ParallelCount(matching, scan));
     // One-sided Laplace with sensitivity 1, exactly OsdpEngine::AnswerCount.
     answer.count = count + SampleOneSidedLaplace(rng, 1.0 / prepared.epsilon);
@@ -170,23 +194,26 @@ Result<ServiceAnswer> QueryService::Execute(const PreparedRequest& prepared) {
 
     std::optional<RowMask> where_mask;
     if (query.where() != nullptr) {
-      where_mask = ParallelEvalMask(*query.where(), engine_.data(), scan);
+      where_mask = ParallelEvalMask(*query.where(), snap.table, scan);
     }
 
     Histogram x(query.num_bins());
     if (need_x) {
-      x = ParallelAccumulateHistogram(
-          query, where_mask.has_value() ? *where_mask : all_rows_, scan);
+      if (where_mask.has_value()) {
+        x = ParallelAccumulateHistogram(query, *where_mask, scan);
+      } else {
+        const RowMask all_rows(snap.table.num_rows(), /*value=*/true);
+        x = ParallelAccumulateHistogram(query, all_rows, scan);
+      }
     }
     Histogram xns(query.num_bins());
     if (need_xns) {
       if (where_mask.has_value()) {
         RowMask selected = *where_mask;
-        ParallelAndWith(&selected, engine_.non_sensitive_mask(), scan);
+        ParallelAndWith(&selected, snap.non_sensitive, scan);
         xns = ParallelAccumulateHistogram(query, selected, scan);
       } else {
-        xns = ParallelAccumulateHistogram(query, engine_.non_sensitive_mask(),
-                                          scan);
+        xns = ParallelAccumulateHistogram(query, snap.non_sensitive, scan);
       }
     }
 
@@ -205,7 +232,8 @@ Result<ServiceAnswer> QueryService::Execute(const PreparedRequest& prepared) {
   }
 
   ledger_.Record(engine_.policy(), prepared.epsilon,
-                 prepared.label + " (" + prepared.session->analyst + ")");
+                 prepared.label + " (" + prepared.session->analyst + ")",
+                 snap.generation);
   return answer;
 }
 
@@ -222,11 +250,17 @@ std::vector<Result<ServiceAnswer>> QueryService::AnswerBatch(
     return results;
   }
 
+  // Capture the snapshot exactly once, at submission: every query of the
+  // batch validates against it, executes against it, and is charged against
+  // its generation — ingests that land after this line are invisible to the
+  // whole batch.
+  const SnapshotPtr snapshot = store_.Current();
+
   // Phase 1a (lock-free): validate and bind every request — concurrent
   // batches pay the compilation cost in parallel.
   std::vector<std::optional<PreparedRequest>> prepared(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
-    Result<PreparedRequest> r = Validate(batch[i]);
+    Result<PreparedRequest> r = Validate(batch[i], snapshot);
     if (r.ok()) {
       prepared[i] = std::move(r).ValueOrDie();
       prepared[i]->session = s;

@@ -1,20 +1,36 @@
 // QueryService: the concurrent, multi-session query-answering front-end over
-// OsdpEngine — the paper's "online setting" (Section 7) at service scale.
+// OsdpEngine — the paper's "online setting" (Section 7) at service scale,
+// now over a *streaming* dataset.
 //
 // Many analyst sessions submit batches of predicate-count and histogram
-// queries concurrently. The service runs every scan sharded across the
-// thread pool (src/runtime/parallel_scan.h) and routes every charge through
-// two budgets — the analyst's session budget and the dataset's service-wide
-// lifetime budget — plus a thread-safe composition ledger that tracks the
-// composed (P, ε)-OSDP guarantee of everything released so far
-// (Theorem 3.3).
+// queries concurrently while a writer appends row batches through Ingest().
+// The service runs every scan sharded across the thread pool
+// (src/runtime/parallel_scan.h) and routes every charge through two budgets —
+// the analyst's session budget and the dataset's service-wide lifetime
+// budget — plus a thread-safe composition ledger that tracks the composed
+// (P, ε)-OSDP guarantee of everything released so far (Theorem 3.3).
+//
+// Streaming model — snapshot isolation:
+//
+//   * Ingest(RowBatch) appends rows as the next *generation*: the policy
+//     mask is extended incrementally over just the new rows, a complete
+//     immutable Snapshot (table + mask + generation id) is built, and it is
+//     published by atomic pointer swap (src/data/snapshot_store.h).
+//   * Every AnswerBatch captures the current snapshot once, at submission,
+//     and answers the whole batch against it — a query submitted before a
+//     swap never observes rows or mask bits from a later generation, and a
+//     query in flight keeps its generation alive however many swaps happen
+//     under it. Each answer reports the generation it was computed against,
+//     and the ledger records it with the charge (the audit trail names the
+//     exact sensitive/non-sensitive split each ε was spent under).
 //
 // Correctness properties, each pinned by tests/query_service_test.cc:
 //
-//   * Determinism: a query's noise stream is seeded from
-//     (service seed, session id, per-session submission index) — never from
-//     thread identity or timing — so answers are bit-identical across runs,
-//     thread counts, and interleavings of *other* sessions' traffic.
+//   * Determinism: a query's noise stream is seeded from QuerySeed(service
+//     seed, session id, per-session submission index, snapshot generation) —
+//     never from thread identity or timing — so every answer is bit-identical
+//     to a serial replay of (generation, session, seq) regardless of thread
+//     count or the interleaving of other sessions' traffic and of ingest.
 //   * Budget safety: charging is two-phase (reserve both budgets serially in
 //     submission order, execute in parallel, refund on downstream failure),
 //     so concurrent batches can never jointly overspend either budget, and
@@ -43,6 +59,9 @@
 #include "src/common/result.h"
 #include "src/core/engine.h"
 #include "src/data/predicate.h"
+#include "src/data/snapshot.h"
+#include "src/data/snapshot_store.h"
+#include "src/data/table_builder.h"
 #include "src/hist/histogram_query.h"
 #include "src/runtime/thread_pool.h"
 
@@ -66,16 +85,20 @@ struct HistogramRequest {
 using ServiceRequest = std::variant<CountRequest, HistogramRequest>;
 
 /// The answer to one query: `count` for CountRequest, `histogram` for
-/// HistogramRequest.
+/// HistogramRequest. `generation` is the snapshot generation the answer was
+/// computed against — replaying the query against that generation with the
+/// same (seed, session, seq) reproduces it bit-for-bit.
 struct ServiceAnswer {
   double count = 0.0;
   std::optional<Histogram> histogram;
+  uint64_t generation = 0;
 };
 
-/// \brief Concurrent multi-session OSDP query service.
+/// \brief Concurrent multi-session OSDP query service over a streaming,
+/// snapshot-isolated dataset.
 ///
-/// Thread-safe throughout: OpenSession / AnswerBatch / the inspection
-/// methods may be called from any thread at any time.
+/// Thread-safe throughout: OpenSession / AnswerBatch / Ingest / the
+/// inspection methods may be called from any thread at any time.
 class QueryService {
  public:
   /// Analyst session handle.
@@ -94,7 +117,8 @@ class QueryService {
   };
 
   /// Takes ownership of `engine`; its remaining budget becomes the
-  /// service-wide lifetime budget.
+  /// service-wide lifetime budget and its snapshot becomes generation 0 of
+  /// the streaming dataset.
   static Result<std::unique_ptr<QueryService>> Create(OsdpEngine engine,
                                                       Options options);
 
@@ -104,7 +128,17 @@ class QueryService {
   /// Closes a session; in-flight batches complete, new ones are rejected.
   Status CloseSession(SessionId session);
 
-  /// \brief Answers a batch of queries for `session`. Validation and budget
+  /// \brief Appends `batch` (same schema as the dataset) as the next
+  /// generation and publishes the new snapshot atomically: the batch's rows
+  /// are classified by the policy incrementally (only the new rows are
+  /// scanned), and every query submitted after the swap sees them. Queries
+  /// already submitted keep answering against the generation they captured.
+  /// Returns the new generation id. InvalidArgument (and no new generation)
+  /// on a schema mismatch. Thread-safe; concurrent Ingest calls serialize.
+  Result<uint64_t> Ingest(const RowBatch& batch);
+
+  /// \brief Answers a batch of queries for `session`, all against the
+  /// snapshot captured when the batch was submitted. Validation and budget
   /// reservation happen serially in batch order; execution runs sharded
   /// across the pool. Per-query failures (malformed query, exhausted
   /// budget) come back as error Results in the matching slot without
@@ -120,6 +154,20 @@ class QueryService {
                                         double epsilon,
                                         EngineMechanism mechanism);
 
+  /// \brief The noise-stream seed of one query — the full reproducibility
+  /// contract, public so a serial replay can reconstruct any answer:
+  /// rebuild the dataset at `generation`, seed an Rng with
+  /// QuerySeed(root_seed, session, seq, generation), and run the same
+  /// mechanism. Pure function of its arguments.
+  static uint64_t QuerySeed(uint64_t root_seed, SessionId session,
+                            uint64_t seq, uint64_t generation);
+
+  /// The latest published snapshot (atomic load).
+  SnapshotPtr current_snapshot() const { return store_.Current(); }
+
+  /// Generation id of the latest published snapshot.
+  uint64_t current_generation() const { return store_.Current()->generation; }
+
   /// Remaining service-wide lifetime budget.
   double remaining_budget() const { return service_budget_.remaining(); }
 
@@ -132,11 +180,12 @@ class QueryService {
     return ledger_.Sequential();
   }
 
-  /// The thread-safe composition ledger (one entry per successful release).
+  /// The thread-safe composition ledger (one entry per successful release,
+  /// tagged with the generation it was charged against).
   const SharedLedger& ledger() const { return ledger_; }
 
-  /// Number of rows in the guarded dataset.
-  size_t num_rows() const { return engine_.num_rows(); }
+  /// Number of rows in the latest published generation.
+  size_t num_rows() const { return store_.Current()->table.num_rows(); }
 
  private:
   struct Session {
@@ -152,28 +201,35 @@ class QueryService {
   // One validated, budget-reserved query awaiting execution.
   struct PreparedRequest;
 
-  QueryService(OsdpEngine engine, Options options);
+  QueryService(OsdpEngine engine, TableBuilder builder, Options options);
 
   std::shared_ptr<Session> FindSession(SessionId session) const;
 
-  // Phase 1a: validate and bind one request — predicate compilation,
-  // histogram binding, ε checks. CPU-bound and lock-free, so concurrent
-  // batches validate in parallel.
-  Result<PreparedRequest> Validate(const ServiceRequest& request) const;
+  // Phase 1a: validate and bind one request against the captured snapshot —
+  // predicate compilation, histogram binding, ε checks. CPU-bound and
+  // lock-free, so concurrent batches validate in parallel.
+  Result<PreparedRequest> Validate(const ServiceRequest& request,
+                                   const SnapshotPtr& snapshot) const;
 
   // Phase 1b: reserve both budgets and assign the noise seed. Callers hold
   // reserve_mu_, so the (session, service) pair commits atomically and in
   // deterministic batch order.
   Status Reserve(Session& session, PreparedRequest* prepared);
 
-  // Phase 2: execute one prepared query (parallel, shard-local state only).
+  // Phase 2: execute one prepared query against its captured snapshot
+  // (parallel, shard-local state only).
   Result<ServiceAnswer> Execute(const PreparedRequest& prepared);
 
   OsdpEngine engine_;
   Options options_;
   SharedBudget service_budget_;
   SharedLedger ledger_;
-  RowMask all_rows_;  // all-true mask over the dataset (the full-histogram x)
+
+  // The streaming write path: builder_ accumulates rows under ingest_mu_;
+  // store_ publishes immutable snapshots to the read path.
+  SnapshotStore store_;
+  std::mutex ingest_mu_;
+  TableBuilder builder_;
 
   mutable std::mutex sessions_mu_;
   std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;

@@ -68,6 +68,74 @@ TEST(CsvTest, CrLfAndBlankLinesTolerated) {
   EXPECT_EQ(t.num_rows(), 2u);
 }
 
+TEST(CsvTest, CrLfParsesIdenticallyToLf) {
+  const Table lf = *ReadCsvTable("a,b\n1,x\n2,y\n");
+  const Table crlf = *ReadCsvTable("a,b\r\n1,x\r\n2,y\r\n");
+  ASSERT_EQ(crlf.num_rows(), lf.num_rows());
+  EXPECT_EQ(crlf.Int64Column(0), lf.Int64Column(0));
+  EXPECT_EQ(crlf.StringColumn(1), lf.StringColumn(1));
+  // CRLF without a trailing line break on the last row.
+  EXPECT_EQ(ReadCsvTable("a,b\r\n1,x\r\n2,y")->num_rows(), 2u);
+}
+
+TEST(CsvTest, BareCarriageReturnRejectedInsteadOfDeleted) {
+  // `x\ry` used to parse as `xy` — the stray CR was silently dropped from
+  // the data. Outside a CRLF line ending (or a quoted field, where it is
+  // data) a CR is malformed.
+  EXPECT_FALSE(ReadCsvTable("a,b\n1,x\ry\n").ok());
+  EXPECT_FALSE(ReadCsvTable("a\r1\n").ok());    // classic-Mac line ending
+  EXPECT_FALSE(ReadCsvTable("a\n1\r").ok());    // CR at end of input
+}
+
+TEST(CsvTest, QuotedFieldPreservesEmbeddedNewlines) {
+  const Table t = *ReadCsvTable("a,b\n\"line1\nline2\",\"tail\r\n\"\n1,2\n");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.StringColumn(0)[0], "line1\nline2");
+  EXPECT_EQ(t.StringColumn(1)[0], "tail\r\n");
+}
+
+TEST(CsvTest, EmptyTrailingFieldIsAField) {
+  // `1,` is two fields, the second empty — with and without the final
+  // newline, and under an explicit string schema.
+  const Table inferred = *ReadCsvTable("a,b\n1,\n2,x\n");
+  ASSERT_EQ(inferred.num_rows(), 2u);
+  EXPECT_EQ(inferred.StringColumn(1)[0], "");
+  EXPECT_EQ(inferred.StringColumn(1)[1], "x");
+
+  const Table no_final_newline = *ReadCsvTable("a,b\nx,");
+  ASSERT_EQ(no_final_newline.num_rows(), 1u);
+  EXPECT_EQ(no_final_newline.StringColumn(1)[0], "");
+
+  // An empty field is not parseable as int64: the typed path must say so
+  // rather than default-fill.
+  Schema schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}});
+  EXPECT_FALSE(ReadCsvTable("a,b\n1,\n", schema).ok());
+}
+
+TEST(CsvTest, OverAndUnderLongRowsRejectedOnBothPaths) {
+  // Inference path.
+  EXPECT_FALSE(ReadCsvTable("a,b\n1,2,3\n").ok());  // over-long
+  EXPECT_FALSE(ReadCsvTable("a,b\n1\n").ok());      // under-long
+  // Explicit-schema path.
+  Schema schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}});
+  EXPECT_FALSE(ReadCsvTable("a,b\n1,2,3\n", schema).ok());
+  EXPECT_FALSE(ReadCsvTable("a,b\n1\n", schema).ok());
+  // A well-formed row before the ragged one does not mask the error.
+  EXPECT_FALSE(ReadCsvTable("a,b\n1,2\n3\n", schema).ok());
+}
+
+TEST(CsvTest, GarbageAfterClosingQuoteRejected) {
+  // `"x"y` used to silently concatenate to `xy`; it is malformed CSV.
+  EXPECT_FALSE(ReadCsvTable("a\n\"x\"y\n").ok());
+  EXPECT_FALSE(ReadCsvTable("a\n\"\"y\n").ok());
+  // Re-opening a closed quoted field is equally malformed.
+  EXPECT_FALSE(ReadCsvTable("a\n\"x\"\"\n").ok());
+  // The well-formed neighbours still parse: an escaped quote inside a
+  // quoted field, and a quoted field ending cleanly at a separator.
+  EXPECT_EQ((*ReadCsvTable("a\n\"x\"\"y\"\n")).StringColumn(0)[0], "x\"y");
+  EXPECT_EQ((*ReadCsvTable("a,b\n\"x\",y\n")).StringColumn(0)[0], "x");
+}
+
 TEST(CsvTest, HistogramRoundTrip) {
   Histogram h({0, 5.5, 3, 0});
   Histogram back = *ReadCsvHistogram(WriteCsvHistogram(h));

@@ -1,10 +1,19 @@
-// Tests for src/data: Value, Schema, Table, Predicate.
+// Tests for src/data: Value, Schema, Table, Predicate — including the
+// randomized property suite pinning SelectRows(RowMask) ≡ SelectRows(indices)
+// and the FromColumns / AppendRows round trip across ragged and
+// word-boundary row counts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/common/check.h"
+#include "src/common/random.h"
 
 #include "src/data/predicate.h"
+#include "src/data/row_mask.h"
 #include "src/data/schema.h"
 #include "src/data/table.h"
 #include "src/data/value.h"
@@ -134,6 +143,125 @@ TEST(TableTest, SelectRowsFromMaskMatchesIndexGather) {
       EXPECT_EQ(sel.GetValue(r, c).ToString(), via_indices.GetValue(r, c).ToString());
     }
   }
+}
+
+// Mixed-type table of `rows` rows with deterministic, seed-dependent cells.
+Table DeterministicTable(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<std::string> strings;
+  ints.reserve(rows);
+  doubles.reserve(rows);
+  strings.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    ints.push_back(static_cast<int64_t>(rng.NextBounded(1000)));
+    doubles.push_back(static_cast<double>(rng.NextBounded(1u << 20)) * 0.25);
+    strings.push_back("s" + std::to_string(rng.NextBounded(17)));
+  }
+  std::vector<Table::ColumnData> columns;
+  columns.emplace_back(std::move(ints));
+  columns.emplace_back(std::move(doubles));
+  columns.emplace_back(std::move(strings));
+  return *Table::FromColumns(Schema({{"i", ValueType::kInt64},
+                                     {"d", ValueType::kDouble},
+                                     {"s", ValueType::kString}}),
+                             std::move(columns));
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.GetValue(r, c), b.GetValue(r, c))
+          << "cell (" << r << ", " << c << ")";
+    }
+  }
+}
+
+// Row counts straddling every word-boundary case the packed mask cares
+// about: empty, sub-word, exactly one word, word ± 1, and multi-word ragged.
+const size_t kRaggedSizes[] = {0, 1, 63, 64, 65, 127, 128, 129, 1000, 1025};
+
+TEST(TablePropertyTest, SelectRowsMaskMatchesIndexOverloadAcrossSizes) {
+  Rng rng(0x57A7);
+  for (size_t rows : kRaggedSizes) {
+    const Table t = DeterministicTable(rows, /*seed=*/rows + 1);
+    // All-empty, random, and all-full masks: the boundary densities plus a
+    // representative middle.
+    for (const double density : {0.0, 0.5, 1.0}) {
+      RowMask mask(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        if (density == 1.0 || (density > 0.0 && rng.NextDouble() < density)) {
+          mask.Set(i);
+        }
+      }
+      const Table via_mask = t.SelectRows(mask);
+      const Table via_indices = t.SelectRows(mask.ToIndices());
+      ASSERT_EQ(via_mask.num_rows(), mask.Count());
+      ExpectTablesEqual(via_mask, via_indices);
+    }
+  }
+}
+
+TEST(TablePropertyTest, FromColumnsRoundTripsAcrossSizes) {
+  for (size_t rows : kRaggedSizes) {
+    Rng rng(rows + 7);
+    std::vector<int64_t> ints;
+    std::vector<std::string> strings;
+    for (size_t i = 0; i < rows; ++i) {
+      ints.push_back(static_cast<int64_t>(rng.NextBounded(1u << 30)) - 500);
+      strings.push_back(std::string(i % 5, 'x') + std::to_string(i));
+    }
+    const std::vector<int64_t> ints_ref = ints;
+    const std::vector<std::string> strings_ref = strings;
+    std::vector<Table::ColumnData> columns;
+    columns.emplace_back(std::move(ints));
+    columns.emplace_back(std::move(strings));
+    const Table t = *Table::FromColumns(
+        Schema({{"i", ValueType::kInt64}, {"s", ValueType::kString}}),
+        std::move(columns));
+    ASSERT_EQ(t.num_rows(), rows);
+    EXPECT_EQ(t.Int64Column(0), ints_ref);
+    EXPECT_EQ(t.StringColumn(1), strings_ref);
+  }
+}
+
+TEST(TablePropertyTest, AppendRowsMatchesSingleShotConstruction) {
+  // Concatenating a split table through AppendRows reproduces the
+  // single-shot FromColumns table exactly, wherever the cut lands.
+  for (size_t rows : kRaggedSizes) {
+    const Table whole = DeterministicTable(rows, /*seed=*/rows + 3);
+    for (const size_t cut : {size_t{0}, rows / 3, rows}) {
+      std::vector<size_t> head_idx, tail_idx;
+      for (size_t i = 0; i < cut; ++i) head_idx.push_back(i);
+      for (size_t i = cut; i < rows; ++i) tail_idx.push_back(i);
+      Table head = whole.SelectRows(head_idx);
+      const Table tail = whole.SelectRows(tail_idx);
+      ASSERT_TRUE(head.AppendRows(tail).ok());
+      ExpectTablesEqual(head, whole);
+    }
+  }
+}
+
+TEST(TableTest, AppendRowsToItselfDoublesTheTable) {
+  Table t = TestTable();
+  ASSERT_TRUE(t.AppendRows(t).ok());
+  ASSERT_EQ(t.num_rows(), 8u);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      EXPECT_EQ(t.GetValue(r, c), t.GetValue(4 + r, c));
+    }
+  }
+}
+
+TEST(TableTest, AppendRowsRejectsSchemaMismatch) {
+  Table t = TestTable();
+  Table other(Schema({{"age", ValueType::kInt64}}));
+  OSDP_CHECK(other.AppendRow({Value(1)}).ok());
+  EXPECT_EQ(t.AppendRows(other).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 4u);
 }
 
 TEST(TableTest, GetRowRoundTrips) {

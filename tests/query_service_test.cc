@@ -1,11 +1,15 @@
 // Tests for the concurrent OSDP QueryService: determinism across thread
 // counts and interleavings, two-budget safety under concurrency, no-charge
-// validation failures, and the composed guarantee of the thread-safe ledger.
+// validation failures, the composed guarantee of the thread-safe ledger, and
+// the streaming ingest path — snapshot isolation and bit-identical serial
+// replay of (generation, session, seq) under writer/reader races.
 //
-// The concurrency suites here are the primary ThreadSanitizer targets (the
-// CI tsan job runs exactly this binary plus runtime_test).
+// The concurrency suites here are the primary ThreadSanitizer and
+// ASan+UBSan targets (the CI tsan and asan-ubsan jobs run exactly this
+// binary plus runtime_test).
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,10 +17,13 @@
 #include <gtest/gtest.h>
 
 #include "src/benchdata/table_gen.h"
+#include "src/common/distributions.h"
+#include "src/common/random.h"
 #include "src/core/engine.h"
 #include "src/data/compiled_predicate.h"
 #include "src/data/predicate.h"
 #include "src/hist/histogram_query.h"
+#include "src/policy/policy.h"
 #include "src/runtime/query_service.h"
 #include "src/runtime/thread_pool.h"
 
@@ -306,6 +313,249 @@ TEST(QueryServiceConcurrencyTest, PerSessionStreamsAreInterleavingInvariant) {
   const std::vector<double> contended = run_solo(*noisy, true);
 
   EXPECT_EQ(contended, baseline);
+}
+
+// ------------------------------------------------------------ streaming ---
+
+TEST(QueryServiceStreamingTest, IngestPublishesGenerationsAndIsolatesQueries) {
+  // With a huge ε the one-sided Laplace noise is in (-1, 0], so a
+  // COUNT(True) pins the non-sensitive row count of whichever generation
+  // the query was answered against — generation isolation is observable in
+  // the answer itself, not just in the tag.
+  QueryService::Options opts;
+  opts.per_session_epsilon = 5000.0;
+  auto engine = TestEngine(10000.0, 200);
+  const Policy policy = TestPolicy();
+  Table accumulated = engine.data();
+  auto service = *QueryService::Create(std::move(engine), opts);
+  const auto session = service->OpenSession("alice");
+  EXPECT_EQ(service->current_generation(), 0u);
+  EXPECT_EQ(service->num_rows(), 200u);
+
+  const auto ns_count = [&](const Table& t) {
+    return static_cast<double>(policy.NonSensitiveRowMask(t).Count());
+  };
+
+  const auto before = *service->AnswerCount(session, Predicate::True(), 1000.0);
+  EXPECT_EQ(before.generation, 0u);
+  EXPECT_LE(before.count, ns_count(accumulated));
+  EXPECT_GT(before.count, ns_count(accumulated) - 1.0);
+
+  CensusTableOptions batch_opts;
+  batch_opts.num_rows = 150;
+  batch_opts.seed = 0xB1;
+  const Table batch = MakeCensusTable(batch_opts);
+  ASSERT_EQ(*service->Ingest(batch), 1u);
+  ASSERT_TRUE(accumulated.AppendRows(batch).ok());
+  EXPECT_EQ(service->current_generation(), 1u);
+  EXPECT_EQ(service->num_rows(), 350u);
+
+  const auto after = *service->AnswerCount(session, Predicate::True(), 1000.0);
+  EXPECT_EQ(after.generation, 1u);
+  EXPECT_LE(after.count, ns_count(accumulated));
+  EXPECT_GT(after.count, ns_count(accumulated) - 1.0);
+
+  // The ledger names the generation each ε was charged against.
+  const auto entries = service->ledger().entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].generation, 0u);
+  EXPECT_EQ(entries[1].generation, 1u);
+
+  // A wrong-schema batch changes nothing.
+  Table wrong(Schema({{"other", ValueType::kInt64}}));
+  ASSERT_TRUE(wrong.AppendRow({Value(1)}).ok());
+  const auto bad = service->Ingest(wrong);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->current_generation(), 1u);
+  EXPECT_EQ(service->num_rows(), 350u);
+}
+
+TEST(QueryServiceStreamingTest, AnswersStayDeterministicAcrossThreadCounts) {
+  // The PR-3 determinism contract extended to a moving dataset: identical
+  // configuration except for parallelism, with an ingest between batches,
+  // still gives bit-identical answers (the seed is generation-tagged, never
+  // timing-dependent).
+  std::vector<std::vector<double>> answers_by_config;
+  for (size_t threads : {size_t{0}, size_t{1}, size_t{4}}) {
+    ThreadPool pool(threads);
+    QueryService::Options opts;
+    opts.pool = &pool;
+    opts.num_shards = threads == 0 ? 1 : 2 * threads + 1;
+    auto service = *QueryService::Create(TestEngine(10.0), opts);
+    const auto session = service->OpenSession("alice");
+
+    std::vector<double> answers;
+    const auto record = [&](const std::vector<Result<ServiceAnswer>>& batch) {
+      for (const auto& result : batch) {
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        if (result->histogram.has_value()) {
+          for (double c : result->histogram->counts()) answers.push_back(c);
+        } else {
+          answers.push_back(result->count);
+        }
+      }
+    };
+    record(service->AnswerBatch(session, TestBatch()));
+    CensusTableOptions batch_opts;
+    batch_opts.num_rows = 123;
+    batch_opts.seed = 0xB2;
+    ASSERT_EQ(*service->Ingest(MakeCensusTable(batch_opts)), 1u);
+    record(service->AnswerBatch(session, TestBatch()));
+    answers_by_config.push_back(std::move(answers));
+  }
+  for (size_t i = 1; i < answers_by_config.size(); ++i) {
+    EXPECT_EQ(answers_by_config[i], answers_by_config[0]);
+  }
+}
+
+TEST(QueryServiceStreamingTest, ConcurrentIngestMatchesSerialReplay) {
+  // The streaming stress harness: one writer thread publishes generations
+  // while analyst sessions hammer queries from other threads. Every answer
+  // records the generation it was served against; afterwards each one must
+  // be bit-identical to a serial replay of (generation, session, seq) built
+  // from scratch — which proves both determinism and snapshot isolation (an
+  // answer computed from torn rows/mask bits could not match any replayed
+  // generation).
+  constexpr size_t kSeedRows = 300;
+  constexpr int kBatches = 12;
+  constexpr size_t kBatchRows = 41;  // deliberately word-boundary-hostile
+  constexpr int kSessions = 3;
+  constexpr int kQueriesPerSession = 16;
+  constexpr double kEps = 0.05;
+  constexpr uint64_t kRootSeed = 0x5EED;
+
+  const auto make_batch = [](int g) {
+    CensusTableOptions opts;
+    opts.num_rows = kBatchRows;
+    opts.seed = 0xB000 + static_cast<uint64_t>(g);
+    return MakeCensusTable(opts);
+  };
+  const Domain1D age_domain = *Domain1D::Numeric(0, 100, 16);
+  const auto make_query = [&](int s, int q) -> ServiceRequest {
+    if (q % 4 == 3) {
+      std::optional<Predicate> where;
+      if (q % 8 == 7) where = Predicate::Eq("opt_in", Value(1));
+      return HistogramRequest{HistogramQuery{"age", age_domain, where}, kEps,
+                              EngineMechanism::kOsdpLaplaceL1};
+    }
+    return CountRequest{
+        Predicate::Le("age", Value(10 + (7 * s + 13 * q) % 80)), kEps};
+  };
+
+  ThreadPool pool(2);
+  QueryService::Options opts;
+  opts.pool = &pool;
+  opts.per_session_epsilon = 10.0;
+  opts.seed = kRootSeed;
+  auto service = *QueryService::Create(TestEngine(100.0, kSeedRows), opts);
+
+  // Open every session up front, serially, so ids are deterministic no
+  // matter how the reader threads interleave.
+  std::vector<QueryService::SessionId> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.push_back(service->OpenSession("analyst-" + std::to_string(s)));
+  }
+
+  struct Recorded {
+    uint64_t generation = 0;
+    bool is_histogram = false;
+    double count = 0.0;
+    std::vector<double> bins;
+  };
+  std::vector<std::vector<Recorded>> recorded(kSessions);
+
+  std::thread writer([&] {
+    for (int g = 1; g <= kBatches; ++g) {
+      auto generation = service->Ingest(make_batch(g));
+      ASSERT_TRUE(generation.ok()) << generation.status().ToString();
+      EXPECT_EQ(*generation, static_cast<uint64_t>(g));
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+  std::vector<std::thread> readers;
+  readers.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    readers.emplace_back([&, s] {
+      for (int q = 0; q < kQueriesPerSession; ++q) {
+        std::vector<ServiceRequest> batch;
+        batch.emplace_back(make_query(s, q));
+        auto result = std::move(service->AnswerBatch(sessions[s], batch)[0]);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        Recorded rec;
+        rec.generation = result->generation;
+        if (result->histogram.has_value()) {
+          rec.is_histogram = true;
+          rec.bins = result->histogram->counts();
+        } else {
+          rec.count = result->count;
+        }
+        recorded[s].push_back(std::move(rec));
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  // Serial replay. Rebuild every generation's table from the same batches,
+  // reclassify from scratch, and recompute every recorded answer through
+  // the serial scan paths with the (root, session, seq, generation) seed.
+  const Policy policy = TestPolicy();
+  std::vector<Table> generations;
+  {
+    CensusTableOptions seed_opts;
+    seed_opts.num_rows = kSeedRows;
+    seed_opts.seed = 0x9A;  // TestEngine's table
+    generations.push_back(MakeCensusTable(seed_opts));
+    for (int g = 1; g <= kBatches; ++g) {
+      Table next = generations.back();
+      ASSERT_TRUE(next.AppendRows(make_batch(g)).ok());
+      generations.push_back(std::move(next));
+    }
+  }
+  // Any engine works for RunMechanism: it is pure dispatch over the
+  // precomputed histograms and the per-query Rng.
+  const OsdpEngine replay_engine = TestEngine(1.0, 10);
+
+  for (int s = 0; s < kSessions; ++s) {
+    ASSERT_EQ(recorded[s].size(), static_cast<size_t>(kQueriesPerSession));
+    uint64_t last_generation = 0;
+    for (int q = 0; q < kQueriesPerSession; ++q) {
+      const Recorded& rec = recorded[s][q];
+      ASSERT_LE(rec.generation, static_cast<uint64_t>(kBatches));
+      // A session's sequential submissions can only move forward in time.
+      EXPECT_GE(rec.generation, last_generation);
+      last_generation = rec.generation;
+
+      const Table& table = generations[rec.generation];
+      const RowMask ns = policy.NonSensitiveRowMask(table);
+      Rng rng(QueryService::QuerySeed(kRootSeed, sessions[s],
+                                      static_cast<uint64_t>(q),
+                                      rec.generation));
+      const ServiceRequest request = make_query(s, q);
+      if (rec.is_histogram) {
+        const auto& hist = std::get<HistogramRequest>(request);
+        const Histogram xns =
+            *ComputeHistogramMasked(table, hist.query, ns);
+        const Histogram x(hist.query.domain.size());  // unused by OsdpLaplaceL1
+        const Histogram expected = *replay_engine.RunMechanism(
+            x, xns, kEps, hist.mechanism, rng);
+        EXPECT_EQ(rec.bins, expected.counts())
+            << "histogram diverged at session " << s << " seq " << q
+            << " generation " << rec.generation;
+      } else {
+        const auto& count = std::get<CountRequest>(request);
+        RowMask matching =
+            CompiledPredicate::Compile(count.where, table.schema())
+                ->EvalMask(table);
+        matching.AndWith(ns);
+        const double expected = static_cast<double>(matching.Count()) +
+                                SampleOneSidedLaplace(rng, 1.0 / kEps);
+        EXPECT_EQ(rec.count, expected)
+            << "count diverged at session " << s << " seq " << q
+            << " generation " << rec.generation;
+      }
+    }
+  }
 }
 
 }  // namespace

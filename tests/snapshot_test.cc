@@ -1,0 +1,159 @@
+// Tests for the streaming ingest data layer: TableBuilder's incremental
+// policy classification, Snapshot immutability, and SnapshotStore's
+// publish/capture semantics.
+//
+// The load-bearing property: a snapshot's non-sensitive mask after any
+// sequence of ragged appends is bit-identical to a full
+// Policy::NonSensitiveRowMask recompute over the same rows — the incremental
+// word-boundary evaluation in TableBuilder::Append can never produce a torn
+// or stale classification.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/benchdata/table_gen.h"
+#include "src/data/snapshot.h"
+#include "src/data/snapshot_store.h"
+#include "src/data/table_builder.h"
+#include "src/policy/policy.h"
+
+namespace osdp {
+namespace {
+
+Policy TestPolicy() {
+  return Policy::SensitiveWhen(
+      Predicate::Or(Predicate::Eq("opt_in", Value(0)),
+                    Predicate::Lt("age", Value(18))),
+      "opt_out_or_minor");
+}
+
+Table CensusRows(size_t rows, uint64_t seed) {
+  CensusTableOptions opts;
+  opts.num_rows = rows;
+  opts.seed = seed;
+  return MakeCensusTable(opts);
+}
+
+TEST(TableBuilderTest, IncrementalMaskMatchesFullRecomputeAcrossRaggedSizes) {
+  // Batch sizes straddle every word-boundary case: sub-word, exactly one
+  // word, word+1, and multi-word ragged. After every append the incremental
+  // mask must equal a from-scratch classification of the accumulated table.
+  const Policy policy = TestPolicy();
+  const std::vector<size_t> batch_sizes = {1, 63, 64, 65, 7, 127, 128, 129, 30};
+
+  Table seed = CensusRows(37, 0xA0);  // deliberately not word-aligned
+  Table reference = seed;
+  TableBuilder builder = *TableBuilder::Create(seed, policy);
+
+  uint64_t generation = 0;
+  uint64_t batch_seed = 0xB000;
+  for (size_t batch_rows : batch_sizes) {
+    const Table batch = CensusRows(batch_rows, batch_seed++);
+    ASSERT_TRUE(builder.Append(batch).ok());
+    ASSERT_TRUE(reference.AppendRows(batch).ok());
+
+    const SnapshotPtr snap = builder.BuildSnapshot(++generation);
+    EXPECT_EQ(snap->generation, generation);
+    ASSERT_EQ(snap->table.num_rows(), reference.num_rows());
+    EXPECT_TRUE(snap->non_sensitive == policy.NonSensitiveRowMask(reference))
+        << "incremental mask diverged after appending " << batch_rows
+        << " rows (total " << reference.num_rows() << ")";
+  }
+}
+
+TEST(TableBuilderTest, FromSnapshotAdoptsTheMaskAndMatchesCreate) {
+  // The no-rescan startup path: a builder seeded from an already-classified
+  // snapshot behaves identically to one that classified the seed itself,
+  // including after further ragged appends.
+  const Policy policy = TestPolicy();
+  const Table seed = CensusRows(77, 0xAB);
+  TableBuilder from_scratch = *TableBuilder::Create(seed, policy);
+  TableBuilder from_snapshot =
+      *TableBuilder::FromSnapshot(*from_scratch.BuildSnapshot(0), policy);
+
+  const Table batch = CensusRows(65, 0xAC);
+  ASSERT_TRUE(from_scratch.Append(batch).ok());
+  ASSERT_TRUE(from_snapshot.Append(batch).ok());
+  const SnapshotPtr a = from_scratch.BuildSnapshot(1);
+  const SnapshotPtr b = from_snapshot.BuildSnapshot(1);
+  EXPECT_TRUE(a->non_sensitive == b->non_sensitive);
+  EXPECT_EQ(a->table.num_rows(), b->table.num_rows());
+}
+
+TEST(TableBuilderTest, AppendedRowsRoundTripExactly) {
+  const Table seed = CensusRows(10, 0xA1);
+  const Table batch = CensusRows(5, 0xA2);
+  TableBuilder builder = *TableBuilder::Create(seed, TestPolicy());
+  ASSERT_TRUE(builder.Append(batch).ok());
+
+  const SnapshotPtr snap = builder.BuildSnapshot(1);
+  ASSERT_EQ(snap->table.num_rows(), 15u);
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      EXPECT_EQ(snap->table.GetValue(10 + r, c), batch.GetValue(r, c));
+    }
+  }
+}
+
+TEST(TableBuilderTest, SnapshotsAreImmutableUnderLaterAppends) {
+  TableBuilder builder = *TableBuilder::Create(CensusRows(20, 0xA3),
+                                               TestPolicy());
+  const SnapshotPtr before = builder.BuildSnapshot(1);
+  const RowMask mask_before = before->non_sensitive;
+
+  ASSERT_TRUE(builder.Append(CensusRows(100, 0xA4)).ok());
+  const SnapshotPtr after = builder.BuildSnapshot(2);
+
+  // The earlier snapshot still describes generation 1 exactly.
+  EXPECT_EQ(before->table.num_rows(), 20u);
+  EXPECT_EQ(before->non_sensitive.size(), 20u);
+  EXPECT_TRUE(before->non_sensitive == mask_before);
+  EXPECT_EQ(after->table.num_rows(), 120u);
+}
+
+TEST(TableBuilderTest, EmptyBatchIsANoOp) {
+  TableBuilder builder = *TableBuilder::Create(CensusRows(9, 0xA5),
+                                               TestPolicy());
+  ASSERT_TRUE(builder.Append(CensusRows(0, 0xA6)).ok());
+  EXPECT_EQ(builder.num_rows(), 9u);
+  EXPECT_TRUE(builder.BuildSnapshot(1)->non_sensitive ==
+              TestPolicy().NonSensitiveRowMask(CensusRows(9, 0xA5)));
+}
+
+TEST(TableBuilderTest, SchemaMismatchRejectedWithoutMutation) {
+  TableBuilder builder = *TableBuilder::Create(CensusRows(8, 0xA7),
+                                               TestPolicy());
+  Table wrong(Schema({{"other", ValueType::kInt64}}));
+  ASSERT_TRUE(wrong.AppendRow({Value(1)}).ok());
+  const Status status = builder.Append(wrong);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.num_rows(), 8u);
+}
+
+TEST(TableBuilderTest, CreateRejectsPolicyThatDoesNotTypeCheck) {
+  const Policy bad = Policy::SensitiveWhen(
+      Predicate::Eq("no_such_column", Value(1)), "bad");
+  EXPECT_FALSE(TableBuilder::Create(CensusRows(4, 0xA8), bad).ok());
+}
+
+TEST(SnapshotStoreTest, PublishSwapsAndReadersKeepTheirCapture) {
+  TableBuilder builder = *TableBuilder::Create(CensusRows(16, 0xA9),
+                                               TestPolicy());
+  SnapshotStore store(builder.BuildSnapshot(0));
+  EXPECT_EQ(store.Current()->generation, 0u);
+
+  const SnapshotPtr captured = store.Current();
+  ASSERT_TRUE(builder.Append(CensusRows(64, 0xAA)).ok());
+  store.Publish(builder.BuildSnapshot(1));
+
+  // New readers see generation 1; the pinned capture still is generation 0.
+  EXPECT_EQ(store.Current()->generation, 1u);
+  EXPECT_EQ(store.Current()->table.num_rows(), 80u);
+  EXPECT_EQ(captured->generation, 0u);
+  EXPECT_EQ(captured->table.num_rows(), 16u);
+}
+
+}  // namespace
+}  // namespace osdp
