@@ -1,6 +1,7 @@
 #include "src/data/compiled_predicate.h"
 
 #include <algorithm>
+#include <cstring>
 #include <string_view>
 #include <utility>
 
@@ -303,6 +304,160 @@ void EvalOp(const Op& op, const Table& table, size_t row_begin, size_t row_end,
   OSDP_CHECK_MSG(false, "corrupt compiled predicate");
 }
 
+// --------------------------------------------------------- fingerprinting ---
+//
+// The canonical encoding is an injective serialization of the compiled
+// program after canonicalization: AND/OR chains are flattened and their legs
+// sorted by encoding, IN lists are sorted and deduplicated. Every variable-
+// length field is length-prefixed, every tag is distinct, and literals are
+// encoded by exact bit pattern — so byte equality of two encodings is deep
+// structural equality of the canonicalized programs, and near-miss pairs
+// (different column id, comparison op, or typed constant) can never encode
+// identically. tests/compiled_predicate_test.cc enumerates those pairs.
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendDoubleBits(std::string* out, double d) {
+  // Bit pattern, not value: injective (distinguishes 0.0 from -0.0 and every
+  // NaN payload), at the harmless cost of treating such pairs as distinct
+  // cache keys.
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendLengthPrefixed(std::string* out, const std::string& s) {
+  AppendU64(out, s.size());
+  out->append(s);
+}
+
+char CmpTag(PredicateOp op) {
+  switch (op) {
+    case PredicateOp::kEq: return '=';
+    case PredicateOp::kNe: return '!';
+    case PredicateOp::kLt: return '<';
+    case PredicateOp::kLe: return 'l';
+    case PredicateOp::kGt: return '>';
+    case PredicateOp::kGe: return 'g';
+    default: OSDP_CHECK_MSG(false, "bad comparison op"); return '?';
+  }
+}
+
+char TypeTag(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64: return 'I';
+    case ValueType::kDouble: return 'D';
+    case ValueType::kString: return 'S';
+  }
+  return '?';
+}
+
+// Collects the legs of a maximal same-kind AND/OR chain: And(a, And(b, c))
+// and And(And(c, b), a) flatten to the same three legs.
+void FlattenChain(const Op& op, Op::Kind kind, std::vector<const Op*>* legs) {
+  if (op.kind == kind) {
+    FlattenChain(*op.left, kind, legs);
+    FlattenChain(*op.right, kind, legs);
+  } else {
+    legs->push_back(&op);
+  }
+}
+
+std::string CanonicalEncode(const Op& op) {
+  std::string out;
+  switch (op.kind) {
+    case Op::Kind::kConstTrue:
+      return "T";
+    case Op::Kind::kConstFalse:
+      return "F";
+    case Op::Kind::kCmpNum:
+      out += 'n';
+      out += CmpTag(op.cmp);
+      AppendU64(&out, op.col);
+      out += TypeTag(op.col_type);
+      AppendDoubleBits(&out, op.num_lit);
+      return out;
+    case Op::Kind::kCmpStr:
+      out += 's';
+      out += CmpTag(op.cmp);
+      AppendU64(&out, op.col);
+      AppendLengthPrefixed(&out, op.str_lit);
+      return out;
+    case Op::Kind::kInNum: {
+      // Membership is order- and multiplicity-insensitive, so the canonical
+      // set is sorted by bit pattern and deduplicated (evaluation keeps the
+      // original list; the mask is identical either way).
+      std::vector<uint64_t> bits;
+      bits.reserve(op.num_set.size());
+      for (double d : op.num_set) {
+        uint64_t b;
+        std::memcpy(&b, &d, sizeof(b));
+        bits.push_back(b);
+      }
+      std::sort(bits.begin(), bits.end());
+      bits.erase(std::unique(bits.begin(), bits.end()), bits.end());
+      out += 'i';
+      AppendU64(&out, op.col);
+      out += TypeTag(op.col_type);
+      AppendU64(&out, bits.size());
+      for (uint64_t b : bits) AppendU64(&out, b);
+      return out;
+    }
+    case Op::Kind::kInStr: {
+      std::vector<std::string> sorted = op.str_set;
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      out += 'j';
+      AppendU64(&out, op.col);
+      AppendU64(&out, sorted.size());
+      for (const std::string& s : sorted) AppendLengthPrefixed(&out, s);
+      return out;
+    }
+    case Op::Kind::kNot:
+      out += '~';
+      AppendLengthPrefixed(&out, CanonicalEncode(*op.left));
+      return out;
+    case Op::Kind::kAnd:
+    case Op::Kind::kOr: {
+      // Word-wise AND/OR is commutative and associative, so the mask of a
+      // chain does not depend on leg order — canonicalize by flattening the
+      // chain and sorting the encoded legs.
+      std::vector<const Op*> legs;
+      FlattenChain(op, op.kind, &legs);
+      std::vector<std::string> encoded;
+      encoded.reserve(legs.size());
+      for (const Op* leg : legs) encoded.push_back(CanonicalEncode(*leg));
+      std::sort(encoded.begin(), encoded.end());
+      out += op.kind == Op::Kind::kAnd ? '&' : '|';
+      AppendU64(&out, encoded.size());
+      for (const std::string& leg : encoded) AppendLengthPrefixed(&out, leg);
+      return out;
+    }
+  }
+  OSDP_CHECK_MSG(false, "corrupt compiled predicate");
+  return out;
+}
+
+// FNV-1a over the canonical bytes, finished with a SplitMix64 avalanche so
+// near-identical encodings (one literal bit apart) spread over all 64 bits.
+uint64_t HashCanonical(const std::string& canonical) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : canonical) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
 }  // namespace
 
 Result<CompiledPredicate> CompiledPredicate::Compile(const Predicate& pred,
@@ -310,7 +465,10 @@ Result<CompiledPredicate> CompiledPredicate::Compile(const Predicate& pred,
   OSDP_CHECK(pred.root() != nullptr);
   OSDP_ASSIGN_OR_RETURN(std::shared_ptr<const Op> root,
                         CompileNode(*pred.root(), schema));
-  return CompiledPredicate(schema, std::move(root));
+  auto canonical = std::make_shared<const std::string>(CanonicalEncode(*root));
+  const uint64_t fingerprint = HashCanonical(*canonical);
+  return CompiledPredicate(schema, std::move(root), std::move(canonical),
+                           fingerprint);
 }
 
 RowMask CompiledPredicate::EvalMask(const Table& table) const {

@@ -49,6 +49,35 @@ class CompiledPredicate {
   /// The schema this predicate was compiled against.
   const Schema& schema() const { return schema_; }
 
+  /// \brief 64-bit canonical structural fingerprint of the compiled program,
+  /// computed once at Compile().
+  ///
+  /// Two compilations of the same predicate — or of predicates that differ
+  /// only in the parse order of commutative AND/OR legs (And(a, b) vs
+  /// And(b, a), any re-association of an AND/OR chain) or in the order and
+  /// multiplicity of IN-list literals — fingerprint identically; their masks
+  /// are bit-identical too, because word-wise AND/OR and set membership are
+  /// order-insensitive. Distinct column ids, comparison ops, and typed
+  /// constants (Int 1 vs String "1") always canonicalize differently.
+  ///
+  /// The fingerprint is a hash and may collide; exact callers (the runtime
+  /// MaskCache) confirm candidates with canonical_key(), whose byte equality
+  /// is deep structural equality of the canonicalized programs. Column
+  /// references are encoded by resolved index + type, so fingerprints are
+  /// only comparable between predicates compiled against the same schema.
+  uint64_t Fingerprint() const { return fingerprint_; }
+
+  /// The canonical encoding behind Fingerprint(): an injective serialization
+  /// of the canonicalized program. Shared and immutable, so keys built from
+  /// it (shared_canonical_key()) never copy the bytes.
+  const std::string& canonical_key() const { return *canonical_; }
+
+  /// The canonical encoding as a shareable handle (for cache keys that must
+  /// outlive this CompiledPredicate).
+  const std::shared_ptr<const std::string>& shared_canonical_key() const {
+    return canonical_;
+  }
+
   /// Evaluates over every row of `table` (whose schema must equal the bound
   /// schema) and returns the match bitmap.
   RowMask EvalMask(const Table& table) const;
@@ -73,11 +102,18 @@ class CompiledPredicate {
   struct Op;
 
  private:
-  CompiledPredicate(Schema schema, std::shared_ptr<const Op> root)
-      : schema_(std::move(schema)), root_(std::move(root)) {}
+  CompiledPredicate(Schema schema, std::shared_ptr<const Op> root,
+                    std::shared_ptr<const std::string> canonical,
+                    uint64_t fingerprint)
+      : schema_(std::move(schema)),
+        root_(std::move(root)),
+        canonical_(std::move(canonical)),
+        fingerprint_(fingerprint) {}
 
   Schema schema_;
   std::shared_ptr<const Op> root_;
+  std::shared_ptr<const std::string> canonical_;
+  uint64_t fingerprint_ = 0;
 };
 
 }  // namespace osdp

@@ -1,0 +1,97 @@
+#include "src/runtime/mask_cache.h"
+
+#include <algorithm>
+
+namespace osdp {
+
+MaskCache::MaskCache(Options options) : options_(options) {
+  num_shards_ = std::max<size_t>(options_.num_shards, 1);
+  shard_capacity_ = options_.max_bytes / num_shards_;
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+}
+
+size_t MaskCache::EntryBytes(const RowMask& mask,
+                             const std::string& canonical) {
+  // Mask words + the key's canonical bytes + a flat allowance for the list
+  // node, map slot, and control blocks. An approximation is fine: the budget
+  // bounds memory, it is not an allocator.
+  constexpr size_t kEntryOverhead = 128;
+  return mask.num_words() * sizeof(uint64_t) + canonical.size() +
+         kEntryOverhead;
+}
+
+std::shared_ptr<const RowMask> MaskCache::LookupOrCompute(
+    const CompiledPredicate& pred, uint64_t generation,
+    const std::function<RowMask()>& compute, bool* cache_hit) {
+  return LookupOrComputeKeyed(pred.Fingerprint(), pred.shared_canonical_key(),
+                              generation, compute, cache_hit);
+}
+
+std::shared_ptr<const RowMask> MaskCache::LookupOrComputeKeyed(
+    uint64_t fingerprint, std::shared_ptr<const std::string> canonical,
+    uint64_t generation, const std::function<RowMask()>& compute,
+    bool* cache_hit) {
+  Key key{fingerprint, generation, std::move(canonical)};
+  Shard& shard = ShardFor(key);
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      ++shard.hits;
+      // Touch: splice the entry to the LRU front without reallocation.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      if (cache_hit != nullptr) *cache_hit = true;
+      return it->second->second;
+    }
+    ++shard.misses;
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+
+  // Compute outside the lock: the scan may itself fan out across the thread
+  // pool, and unrelated keys in this shard must not serialize behind it.
+  auto mask = std::make_shared<const RowMask>(compute());
+
+  const size_t entry_bytes = EntryBytes(*mask, *key.canonical);
+  if (entry_bytes > shard_capacity_) {
+    // Too large to ever fit (including the whole cache being disabled via
+    // max_bytes = 0): serve the computed mask without churning the LRU.
+    return mask;
+  }
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // A racing miss inserted first; adopt its entry — bit-identical to ours
+    // by the serial/sharded equivalence contract.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+  }
+  shard.lru.emplace_front(key, mask);
+  shard.index.emplace(std::move(key), shard.lru.begin());
+  shard.bytes += entry_bytes;
+  while (shard.bytes > shard_capacity_ && shard.lru.size() > 1) {
+    auto& victim = shard.lru.back();
+    shard.bytes -= EntryBytes(*victim.second, *victim.first.canonical);
+    shard.index.erase(victim.first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  return mask;
+}
+
+MaskCache::Stats MaskCache::stats() const {
+  Stats total;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.bytes += shard.bytes;
+    total.entries += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace osdp

@@ -1,0 +1,157 @@
+// MaskCache: a generation-aware result cache for compiled-predicate scan
+// masks — the "Result caching" subsystem of the concurrent runtime.
+//
+// OSDP's accounting is per-release (Theorem 3.3 composes the ε of every
+// answer, whether or not its scan was recomputed), so reusing an
+// already-computed deterministic scan mask is privacy-neutral: the noisy
+// release stage still draws fresh noise from its own (session, seq,
+// generation) stream, and the ledger records the same charge either way.
+// What caching removes is the column scan itself — a repeated analyst query
+// against an unchanged snapshot becomes mask combination + popcount.
+//
+// Keying and invalidation:
+//
+//   * Entries are keyed by (CompiledPredicate::Fingerprint(), snapshot
+//     generation). The fingerprint is canonical — stable across the parse
+//     order of commutative AND/OR legs — so And(a, b) and And(b, a) share an
+//     entry; their masks are bit-identical, so the shared value is exact.
+//     Fingerprints are 64-bit hashes, so every hash match is confirmed by
+//     deep structural equality (byte comparison of the canonical encodings)
+//     before it counts as a hit: a collision is a miss, stored alongside.
+//   * Values are shared_ptr<const RowMask> — immutable, like the snapshots
+//     they derive from. Ingest never invalidates in place: a new generation
+//     simply keys new entries, and entries of superseded generations age out
+//     through the LRU as traffic moves on.
+//
+// Concurrency: a sharded-lock LRU with a byte budget. Lookups and inserts
+// take one shard mutex; compute runs outside any lock, so two racing misses
+// on one key may both compute — they produce bit-identical masks (the
+// serial/sharded equivalence contract of src/runtime/parallel_scan.h), and
+// whichever insert lands second adopts the first's entry. Bit-identity of
+// every cached answer to the cold path is pinned by tests/mask_cache_test.cc
+// and the cache-enabled stress harness in tests/query_service_test.cc.
+
+#ifndef OSDP_RUNTIME_MASK_CACHE_H_
+#define OSDP_RUNTIME_MASK_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/data/compiled_predicate.h"
+#include "src/data/row_mask.h"
+
+namespace osdp {
+
+/// \brief Sharded-lock LRU cache of predicate scan masks, keyed by
+/// (canonical predicate fingerprint, snapshot generation), bounded by a byte
+/// budget. Thread-safe throughout.
+class MaskCache {
+ public:
+  /// Cache configuration.
+  struct Options {
+    /// Total byte budget across all shards; 0 disables caching entirely
+    /// (lookups compute and store nothing).
+    size_t max_bytes = 64ull << 20;
+    /// Number of independently-locked shards (minimum 1). Each shard holds
+    /// max_bytes / num_shards bytes and its own LRU order.
+    size_t num_shards = 8;
+  };
+
+  /// Counters for tests, benches, and operators. `bytes`/`entries` are the
+  /// current totals; the rest are cumulative.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t bytes = 0;
+    size_t entries = 0;
+  };
+
+  explicit MaskCache(Options options);
+
+  /// True when the byte budget is non-zero (a zero-budget cache computes
+  /// every call and stores nothing).
+  bool enabled() const { return options_.max_bytes > 0; }
+
+  /// \brief Returns the mask for (`pred`, `generation`), computing it via
+  /// `compute` on a miss and caching the result. `compute` runs outside all
+  /// cache locks. `cache_hit`, when non-null, reports whether the mask was
+  /// served from the cache (false on every miss, including collision misses
+  /// and racing double-computes).
+  std::shared_ptr<const RowMask> LookupOrCompute(
+      const CompiledPredicate& pred, uint64_t generation,
+      const std::function<RowMask()>& compute, bool* cache_hit = nullptr);
+
+  /// \brief The raw-key form: `fingerprint` must be the hash of `*canonical`
+  /// under the caller's scheme, and `canonical` the exact structural
+  /// identity — a fingerprint match with different canonical bytes is a
+  /// collision and misses. This is the hook tests use to exercise collision
+  /// handling with fabricated keys; LookupOrCompute delegates here.
+  std::shared_ptr<const RowMask> LookupOrComputeKeyed(
+      uint64_t fingerprint, std::shared_ptr<const std::string> canonical,
+      uint64_t generation, const std::function<RowMask()>& compute,
+      bool* cache_hit = nullptr);
+
+  /// Aggregated counters across all shards (each shard's counters are read
+  /// under its own lock; the totals are a consistent-enough composite for
+  /// assertions between quiescent points).
+  Stats stats() const;
+
+ private:
+  struct Key {
+    uint64_t fingerprint = 0;
+    uint64_t generation = 0;
+    // Deep structural identity behind the fingerprint; shared with the
+    // CompiledPredicate that created the key, so keys never copy the bytes.
+    std::shared_ptr<const std::string> canonical;
+
+    bool operator==(const Key& other) const {
+      return fingerprint == other.fingerprint &&
+             generation == other.generation &&
+             (canonical == other.canonical || *canonical == *other.canonical);
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // The fingerprint is already avalanched; fold in the generation.
+      uint64_t h = k.fingerprint;
+      h ^= k.generation + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  using LruList = std::list<std::pair<Key, std::shared_ptr<const RowMask>>>;
+
+  struct Shard {
+    mutable std::mutex mu;
+    LruList lru;  // front = most recently used
+    std::unordered_map<Key, LruList::iterator, KeyHash> index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return shards_[KeyHash{}(key) % num_shards_];
+  }
+
+  static size_t EntryBytes(const RowMask& mask, const std::string& canonical);
+
+  Options options_;
+  size_t num_shards_ = 1;
+  size_t shard_capacity_ = 0;
+  // Shards hold mutexes (immovable), so they live in a fixed array.
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace osdp
+
+#endif  // OSDP_RUNTIME_MASK_CACHE_H_

@@ -45,6 +45,9 @@ QueryService::QueryService(OsdpEngine engine, TableBuilder builder,
     : engine_(std::move(engine)),
       options_(options),
       service_budget_(engine_.remaining_budget()),
+      mask_cache_(
+          MaskCache::Options{options.mask_cache_bytes,
+                             options.mask_cache_shards}),
       store_(engine_.snapshot()),
       builder_(std::move(builder)) {}
 
@@ -165,6 +168,19 @@ Status QueryService::Reserve(Session& session, PreparedRequest* prepared) {
   return Status::OK();
 }
 
+std::shared_ptr<const RowMask> QueryService::CachedScanMask(
+    const CompiledPredicate& pred, const Snapshot& snap,
+    const ParallelScanOptions& scan, bool* cache_hit) {
+  *cache_hit = false;
+  if (!mask_cache_.enabled()) {
+    return std::make_shared<const RowMask>(
+        ParallelEvalMask(pred, snap.table, scan));
+  }
+  return mask_cache_.LookupOrCompute(
+      pred, snap.generation,
+      [&] { return ParallelEvalMask(pred, snap.table, scan); }, cache_hit);
+}
+
 Result<ServiceAnswer> QueryService::Execute(const PreparedRequest& prepared) {
   const ParallelScanOptions scan{options_.pool, options_.num_shards};
   const Snapshot& snap = *prepared.snapshot;
@@ -173,7 +189,12 @@ Result<ServiceAnswer> QueryService::Execute(const PreparedRequest& prepared) {
   answer.generation = snap.generation;
 
   if (prepared.count_pred.has_value()) {
-    RowMask matching = ParallelEvalMask(*prepared.count_pred, snap.table, scan);
+    const std::shared_ptr<const RowMask> scan_mask =
+        CachedScanMask(*prepared.count_pred, snap, scan, &answer.cache_hit);
+    // The cached mask is immutable and shared; combining with the policy
+    // mask works on a copy — word operations, negligible next to the scan
+    // the cache hit skipped.
+    RowMask matching = *scan_mask;
     ParallelAndWith(&matching, snap.non_sensitive, scan);
     const double count = static_cast<double>(ParallelCount(matching, scan));
     // One-sided Laplace with sensitivity 1, exactly OsdpEngine::AnswerCount.
@@ -192,14 +213,15 @@ Result<ServiceAnswer> QueryService::Execute(const PreparedRequest& prepared) {
         prepared.mechanism == EngineMechanism::kOsdpLaplaceL1 ||
         prepared.mechanism == EngineMechanism::kDawaz;
 
-    std::optional<RowMask> where_mask;
+    std::shared_ptr<const RowMask> where_mask;
     if (query.where() != nullptr) {
-      where_mask = ParallelEvalMask(*query.where(), snap.table, scan);
+      where_mask =
+          CachedScanMask(*query.where(), snap, scan, &answer.cache_hit);
     }
 
     Histogram x(query.num_bins());
     if (need_x) {
-      if (where_mask.has_value()) {
+      if (where_mask != nullptr) {
         x = ParallelAccumulateHistogram(query, *where_mask, scan);
       } else {
         const RowMask all_rows(snap.table.num_rows(), /*value=*/true);
@@ -208,7 +230,7 @@ Result<ServiceAnswer> QueryService::Execute(const PreparedRequest& prepared) {
     }
     Histogram xns(query.num_bins());
     if (need_xns) {
-      if (where_mask.has_value()) {
+      if (where_mask != nullptr) {
         RowMask selected = *where_mask;
         ParallelAndWith(&selected, snap.non_sensitive, scan);
         xns = ParallelAccumulateHistogram(query, selected, scan);

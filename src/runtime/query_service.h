@@ -24,6 +24,18 @@
 //     and the ledger records it with the charge (the audit trail names the
 //     exact sensitive/non-sensitive split each ε was spent under).
 //
+// Result caching — the MaskCache (src/runtime/mask_cache.h):
+//
+//   * The deterministic scan stage of every query (the WHERE mask) is served
+//     through a generation-aware LRU keyed by the compiled predicate's
+//     canonical fingerprint, so identical (predicate, generation) pairs
+//     across analyst sessions cost one scan and then popcounts. Caching is
+//     privacy-neutral: the budget is charged per release either way, and the
+//     noisy stage always draws from the query's own seed stream. Hit and
+//     miss answers are bit-identical — the property tests/mask_cache_test.cc
+//     is built around. ServiceAnswer.cache_hit and cache_stats() expose the
+//     behavior to tests and benches.
+//
 // Correctness properties, each pinned by tests/query_service_test.cc:
 //
 //   * Determinism: a query's noise stream is seeded from QuerySeed(service
@@ -63,6 +75,8 @@
 #include "src/data/snapshot_store.h"
 #include "src/data/table_builder.h"
 #include "src/hist/histogram_query.h"
+#include "src/runtime/mask_cache.h"
+#include "src/runtime/parallel_scan.h"
 #include "src/runtime/thread_pool.h"
 
 namespace osdp {
@@ -92,6 +106,13 @@ struct ServiceAnswer {
   double count = 0.0;
   std::optional<Histogram> histogram;
   uint64_t generation = 0;
+  /// True iff the deterministic scan mask behind this answer (the count's
+  /// WHERE mask, or the histogram's WHERE mask) was served from the
+  /// service's MaskCache instead of being rescanned. Purely observational:
+  /// hit and miss answers are bit-identical, and the noisy release stage is
+  /// never cached. Always false when the query has no WHERE scan (an
+  /// unfiltered histogram) or the cache is disabled.
+  bool cache_hit = false;
 };
 
 /// \brief Concurrent multi-session OSDP query service over a streaming,
@@ -114,6 +135,14 @@ class QueryService {
     size_t num_shards = 0;
     /// Root seed of the per-query noise streams.
     uint64_t seed = 0x05D9;
+    /// Byte budget of the predicate-mask cache (sharded-lock LRU keyed by
+    /// canonical compiled-predicate fingerprint × snapshot generation);
+    /// 0 disables caching. Caching is privacy-neutral — every answer is
+    /// still charged — and bit-identical to the cold path, so it is on by
+    /// default.
+    size_t mask_cache_bytes = 64ull << 20;
+    /// Lock shards of the mask cache.
+    size_t mask_cache_shards = 8;
   };
 
   /// Takes ownership of `engine`; its remaining budget becomes the
@@ -184,6 +213,11 @@ class QueryService {
   /// tagged with the generation it was charged against).
   const SharedLedger& ledger() const { return ledger_; }
 
+  /// Mask-cache counters {hits, misses, evictions, bytes, entries} so tests
+  /// and benches can assert cache behavior instead of inferring it from
+  /// timing. All zero when the cache is disabled.
+  MaskCache::Stats cache_stats() const { return mask_cache_.stats(); }
+
   /// Number of rows in the latest published generation.
   size_t num_rows() const { return store_.Current()->table.num_rows(); }
 
@@ -220,10 +254,19 @@ class QueryService {
   // (parallel, shard-local state only).
   Result<ServiceAnswer> Execute(const PreparedRequest& prepared);
 
+  // The scan mask of `pred` over `snap`'s table, served from the mask cache
+  // when enabled (lookup keyed by fingerprint × snap.generation, computed
+  // via the sharded scan on a miss). `cache_hit` reports hit/miss.
+  std::shared_ptr<const RowMask> CachedScanMask(const CompiledPredicate& pred,
+                                                const Snapshot& snap,
+                                                const ParallelScanOptions& scan,
+                                                bool* cache_hit);
+
   OsdpEngine engine_;
   Options options_;
   SharedBudget service_budget_;
   SharedLedger ledger_;
+  MaskCache mask_cache_;
 
   // The streaming write path: builder_ accumulates rows under ingest_mu_;
   // store_ publishes immutable snapshots to the read path.

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/check.h"
@@ -265,6 +267,195 @@ TEST(CompiledPredicateTest, EmptyInListIsConstantFalse) {
   OSDP_CHECK(t.AppendRow({Value(5)}).ok());
   auto compiled = *CompiledPredicate::Compile(Predicate::In("age", {}), schema);
   EXPECT_EQ(compiled.EvalMask(t).Count(), 0u);
+}
+
+// ------------------------------------------------------------ fingerprint ---
+
+Schema FingerprintSchema() {
+  return Schema({{"age", ValueType::kInt64},
+                 {"income", ValueType::kDouble},
+                 {"race", ValueType::kString},
+                 {"opt_in", ValueType::kInt64},
+                 {"zip", ValueType::kInt64}});
+}
+
+CompiledPredicate FC(const Predicate& p) {
+  return *CompiledPredicate::Compile(p, FingerprintSchema());
+}
+
+TEST(CompiledPredicateFingerprint, NearMissPairsNeverCollide) {
+  // The fingerprint-hygiene regression battery: every pair of these
+  // predicates differs in column id, comparison op, typed constant (Int 1 vs
+  // String "1"), IN-set contents, or tree structure — so every pair must get
+  // a distinct canonical key AND a distinct 64-bit fingerprint. A collision
+  // here would let the MaskCache serve one predicate's mask for another.
+  const Predicate a1 = Predicate::Eq("age", Value(1));
+  const std::vector<Predicate> preds = {
+      // Literal near-misses on one int column.
+      a1,
+      Predicate::Eq("age", Value(2)),
+      Predicate::Eq("age", Value(0)),
+      Predicate::Eq("age", Value(-1)),
+      // Every comparison op against the same (column, literal).
+      Predicate::Ne("age", Value(1)),
+      Predicate::Lt("age", Value(1)),
+      Predicate::Le("age", Value(1)),
+      Predicate::Gt("age", Value(1)),
+      Predicate::Ge("age", Value(1)),
+      // Same op + literal, different column id (and a double column).
+      Predicate::Eq("opt_in", Value(1)),
+      Predicate::Eq("zip", Value(1)),
+      Predicate::Eq("income", Value(1.0)),
+      // Typed constants: Int 1 vs String "1" (distinct column forces the
+      // string form to compile; the leaf kind + column id both differ).
+      Predicate::Eq("race", Value("1")),
+      Predicate::Eq("race", Value("01")),
+      Predicate::Eq("race", Value("")),
+      Predicate::Ne("race", Value("1")),
+      // IN near-misses: subset/superset, singleton-vs-Eq, string sets.
+      Predicate::In("age", {Value(1)}),
+      Predicate::In("age", {Value(1), Value(2)}),
+      Predicate::In("age", {Value(1), Value(2), Value(3)}),
+      Predicate::In("race", {Value("1")}),
+      Predicate::In("race", {Value("1"), Value("2")}),
+      // Structure: And vs Or over the same legs, Not, constants.
+      Predicate::And(a1, Predicate::Eq("opt_in", Value(1))),
+      Predicate::Or(a1, Predicate::Eq("opt_in", Value(1))),
+      Predicate::Not(a1),
+      Predicate::True(),
+      Predicate::False(),
+      // Semantically equivalent but structurally distinct pairs stay
+      // distinct keys (a missed hit, never a wrong one).
+      Predicate::Not(Predicate::Gt("age", Value(1))),
+  };
+
+  std::vector<CompiledPredicate> compiled;
+  for (const Predicate& p : preds) compiled.push_back(FC(p));
+  for (size_t i = 0; i < compiled.size(); ++i) {
+    for (size_t j = i + 1; j < compiled.size(); ++j) {
+      EXPECT_NE(compiled[i].canonical_key(), compiled[j].canonical_key())
+          << "canonical collision between predicate " << i << " and " << j;
+      EXPECT_NE(compiled[i].Fingerprint(), compiled[j].Fingerprint())
+          << "fingerprint collision between predicate " << i << " and " << j;
+    }
+  }
+}
+
+TEST(CompiledPredicateFingerprint, CommutativeLegsFingerprintIdentically) {
+  const Predicate a = Predicate::Le("age", Value(40));
+  const Predicate b = Predicate::Eq("race", Value("C1"));
+  const Predicate c = Predicate::Gt("income", Value(1000.0));
+
+  // Leg order and association of an AND chain are canonicalized away...
+  const uint64_t fp = FC(Predicate::And(a, Predicate::And(b, c))).Fingerprint();
+  EXPECT_EQ(FC(Predicate::And(Predicate::And(c, b), a)).Fingerprint(), fp);
+  EXPECT_EQ(FC(Predicate::And(b, Predicate::And(a, c))).Fingerprint(), fp);
+  // ...same for OR, and the two kinds never mix.
+  const uint64_t fo = FC(Predicate::Or(a, Predicate::Or(b, c))).Fingerprint();
+  EXPECT_EQ(FC(Predicate::Or(Predicate::Or(c, a), b)).Fingerprint(), fo);
+  EXPECT_NE(fo, fp);
+  // Mixed nesting canonicalizes only within each maximal same-op chain.
+  EXPECT_NE(FC(Predicate::And(a, Predicate::Or(b, c))).Fingerprint(), fp);
+  EXPECT_EQ(FC(Predicate::And(Predicate::Or(c, b), a)).Fingerprint(),
+            FC(Predicate::And(a, Predicate::Or(b, c))).Fingerprint());
+
+  // IN literal order and duplicates are canonicalized away too.
+  EXPECT_EQ(FC(Predicate::In("age", {Value(1), Value(2)})).Fingerprint(),
+            FC(Predicate::In("age", {Value(2), Value(1), Value(1)}))
+                .Fingerprint());
+
+  // Int literals widened at compile time equal their double spelling: the
+  // compiled programs are identical.
+  EXPECT_EQ(FC(Predicate::Eq("age", Value(1))).Fingerprint(),
+            FC(Predicate::Eq("age", Value(1.0))).Fingerprint());
+
+  // Recompiling the same predicate reproduces the same key bytes.
+  EXPECT_EQ(FC(Predicate::And(a, b)).canonical_key(),
+            FC(Predicate::And(a, b)).canonical_key());
+}
+
+// Rebuilds `n` with every And/Or leg pair randomly swapped and every IN list
+// randomly rotated — exactly the transformations Fingerprint() promises to
+// canonicalize away.
+Predicate CommuteTree(const Predicate::Node& n, Rng& rng) {
+  switch (n.op) {
+    case PredicateOp::kAnd:
+    case PredicateOp::kOr: {
+      Predicate l = CommuteTree(*n.left, rng);
+      Predicate r = CommuteTree(*n.right, rng);
+      const bool swap = rng.NextBernoulli(0.5);
+      if (n.op == PredicateOp::kAnd) {
+        return swap ? Predicate::And(std::move(r), std::move(l))
+                    : Predicate::And(std::move(l), std::move(r));
+      }
+      return swap ? Predicate::Or(std::move(r), std::move(l))
+                  : Predicate::Or(std::move(l), std::move(r));
+    }
+    case PredicateOp::kNot:
+      return Predicate::Not(CommuteTree(*n.left, rng));
+    case PredicateOp::kTrue:
+      return Predicate::True();
+    case PredicateOp::kFalse:
+      return Predicate::False();
+    case PredicateOp::kIn: {
+      std::vector<Value> lits = n.literals;
+      if (!lits.empty()) {
+        std::rotate(lits.begin(),
+                    lits.begin() + rng.NextBounded(lits.size()), lits.end());
+        if (rng.NextBernoulli(0.5)) lits.push_back(lits.front());  // dup
+      }
+      return Predicate::In(n.column, std::move(lits));
+    }
+    case PredicateOp::kEq:
+      return Predicate::Eq(n.column, n.literals[0]);
+    case PredicateOp::kNe:
+      return Predicate::Ne(n.column, n.literals[0]);
+    case PredicateOp::kLt:
+      return Predicate::Lt(n.column, n.literals[0]);
+    case PredicateOp::kLe:
+      return Predicate::Le(n.column, n.literals[0]);
+    case PredicateOp::kGt:
+      return Predicate::Gt(n.column, n.literals[0]);
+    case PredicateOp::kGe:
+      return Predicate::Ge(n.column, n.literals[0]);
+  }
+  OSDP_CHECK(false);
+  return Predicate::False();
+}
+
+TEST(CompiledPredicateFingerprint, EqualCanonicalKeysImplyBitIdenticalMasks) {
+  // The soundness property the MaskCache rests on: predicates that share a
+  // canonical key produce bit-identical masks on every table. Each random
+  // tree is paired with a commuted clone (guaranteed-equal canonical keys);
+  // independent trees check the distinctness side.
+  Rng rng(0xF1D0);
+  int commuted_pairs = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    const Schema schema = RandomSchema(rng);
+    const Table table = RandomTable(schema, rng);
+    const Predicate p = RandomTree(schema, rng, 3);
+    const Predicate shuffled = CommuteTree(*p.root(), rng);
+    auto cp = CompiledPredicate::Compile(p, schema);
+    auto cs = CompiledPredicate::Compile(shuffled, schema);
+    ASSERT_EQ(cp.ok(), cs.ok()) << "commuting changed compilability";
+    if (cp.ok()) {
+      ++commuted_pairs;
+      EXPECT_EQ(cp->canonical_key(), cs->canonical_key());
+      EXPECT_EQ(cp->Fingerprint(), cs->Fingerprint());
+      EXPECT_TRUE(cp->EvalMask(table) == cs->EvalMask(table))
+          << "equal canonical keys but diverging masks at iter " << iter;
+    }
+
+    const Predicate q = RandomTree(schema, rng, 3);
+    auto cq = CompiledPredicate::Compile(q, schema);
+    if (cp.ok() && cq.ok() &&
+        cp->canonical_key() != cq->canonical_key()) {
+      // At 64 bits a failure here means the hash lost injectivity
+      // catastrophically, not an unlucky draw.
+      EXPECT_NE(cp->Fingerprint(), cq->Fingerprint());
+    }
+  }
+  EXPECT_GT(commuted_pairs, 100);
 }
 
 }  // namespace

@@ -408,14 +408,16 @@ TEST(QueryServiceStreamingTest, AnswersStayDeterministicAcrossThreadCounts) {
   }
 }
 
-TEST(QueryServiceStreamingTest, ConcurrentIngestMatchesSerialReplay) {
-  // The streaming stress harness: one writer thread publishes generations
-  // while analyst sessions hammer queries from other threads. Every answer
-  // records the generation it was served against; afterwards each one must
-  // be bit-identical to a serial replay of (generation, session, seq) built
-  // from scratch — which proves both determinism and snapshot isolation (an
-  // answer computed from torn rows/mask bits could not match any replayed
-  // generation).
+// The streaming stress harness: one writer thread publishes generations
+// while analyst sessions hammer queries from other threads. Every answer
+// records the generation it was served against; afterwards each one must
+// be bit-identical to a serial replay of (generation, session, seq) built
+// from scratch — which proves both determinism and snapshot isolation (an
+// answer computed from torn rows/mask bits could not match any replayed
+// generation). With `mask_cache_bytes` non-zero the same replay contract
+// also pins the cache: a hit that served a wrong or stale mask could not
+// match the from-scratch recomputation of its recorded generation.
+void RunConcurrentIngestStressHarness(size_t mask_cache_bytes) {
   constexpr size_t kSeedRows = 300;
   constexpr int kBatches = 12;
   constexpr size_t kBatchRows = 41;  // deliberately word-boundary-hostile
@@ -447,6 +449,7 @@ TEST(QueryServiceStreamingTest, ConcurrentIngestMatchesSerialReplay) {
   opts.pool = &pool;
   opts.per_session_epsilon = 10.0;
   opts.seed = kRootSeed;
+  opts.mask_cache_bytes = mask_cache_bytes;
   auto service = *QueryService::Create(TestEngine(100.0, kSeedRows), opts);
 
   // Open every session up front, serially, so ids are deterministic no
@@ -556,6 +559,53 @@ TEST(QueryServiceStreamingTest, ConcurrentIngestMatchesSerialReplay) {
       }
     }
   }
+
+  if (mask_cache_bytes > 0) {
+    // Quiescent tail: with the writer done, a repeated query against the
+    // now-stable current generation must be a deterministic cache hit — and
+    // both the miss and the hit answer must be bit-identical to their own
+    // serial replays (the hit's replay recomputes the mask from scratch, so
+    // a wrong cached mask cannot hide behind the flag).
+    constexpr double kTailEps = 4.0;
+    const auto tail = service->OpenSession("tail");
+    const Predicate tail_pred = Predicate::Le("age", Value(55));
+    const auto miss = *service->AnswerCount(tail, tail_pred, kTailEps);
+    const auto hit = *service->AnswerCount(tail, tail_pred, kTailEps);
+    EXPECT_FALSE(miss.cache_hit);
+    EXPECT_TRUE(hit.cache_hit) << "repeat against a stable generation missed";
+    EXPECT_EQ(miss.generation, static_cast<uint64_t>(kBatches));
+    EXPECT_EQ(hit.generation, miss.generation);
+
+    const Table& final_table = generations[kBatches];
+    RowMask matching =
+        CompiledPredicate::Compile(tail_pred, final_table.schema())
+            ->EvalMask(final_table);
+    matching.AndWith(policy.NonSensitiveRowMask(final_table));
+    const double true_count = static_cast<double>(matching.Count());
+    const double answers[] = {miss.count, hit.count};
+    for (uint64_t seq = 0; seq < 2; ++seq) {
+      Rng rng(QueryService::QuerySeed(kRootSeed, tail, seq,
+                                      static_cast<uint64_t>(kBatches)));
+      EXPECT_EQ(answers[seq],
+                true_count + SampleOneSidedLaplace(rng, 1.0 / kTailEps))
+          << "tail answer " << seq << " diverged from its serial replay";
+    }
+    const MaskCache::Stats stats = service->cache_stats();
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.misses, 0u);
+  } else {
+    const MaskCache::Stats stats = service->cache_stats();
+    EXPECT_EQ(stats.hits + stats.misses, 0u) << "disabled cache was touched";
+  }
+}
+
+TEST(QueryServiceStreamingTest, ConcurrentIngestMatchesSerialReplay) {
+  RunConcurrentIngestStressHarness(/*mask_cache_bytes=*/0);
+}
+
+TEST(QueryServiceStreamingTest,
+     ConcurrentIngestMatchesSerialReplayWithMaskCache) {
+  RunConcurrentIngestStressHarness(/*mask_cache_bytes=*/64ull << 20);
 }
 
 }  // namespace
