@@ -15,6 +15,7 @@
 
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/accounting/budget.h"
@@ -70,6 +71,97 @@ class SharedBudget {
  private:
   mutable std::mutex mu_;
   PrivacyBudget budget_;
+};
+
+/// \brief RAII two-budget reservation: the exception-safe form of the
+/// QueryService charge protocol (reserve both budgets up front, execute,
+/// commit on success) with the refund guaranteed on *every* other exit path
+/// — error return, injected fault, cancellation, deadline — instead of being
+/// hand-rolled on the paths someone remembered. A reservation that is
+/// destroyed without Commit() refunds both budgets; this is the invariant
+/// the conservation soak (ε spent == Σ ε of delivered answers) leans on.
+///
+/// Move-only; moving transfers the refund obligation. The referenced budgets
+/// must outlive the reservation (QueryService guarantees this by holding the
+/// session alive through a shared_ptr for the life of each prepared query).
+class BudgetReservation {
+ public:
+  /// An empty reservation: owns nothing, refunds nothing.
+  BudgetReservation() = default;
+
+  /// \brief Reserves `epsilon` from `session` then `service` atomically-in-
+  /// effect: if the service refuses, the session charge is rolled back and
+  /// the error returned with nothing held. Caller serializes concurrent
+  /// Acquires (QueryService's reserve_mu_) so the pair commits in a
+  /// deterministic order.
+  static Result<BudgetReservation> Acquire(SharedBudget* session,
+                                           std::string session_label,
+                                           SharedBudget* service,
+                                           std::string service_label,
+                                           double epsilon) {
+    OSDP_RETURN_IF_ERROR(session->Spend(epsilon, session_label));
+    const Status service_status = service->Spend(epsilon, service_label);
+    if (!service_status.ok()) {
+      session->Refund(epsilon, session_label + " [rolled back]");
+      return service_status;
+    }
+    BudgetReservation reservation;
+    reservation.session_ = session;
+    reservation.service_ = service;
+    reservation.session_label_ = std::move(session_label);
+    reservation.service_label_ = std::move(service_label);
+    reservation.epsilon_ = epsilon;
+    return reservation;
+  }
+
+  BudgetReservation(BudgetReservation&& other) noexcept {
+    *this = std::move(other);
+  }
+  BudgetReservation& operator=(BudgetReservation&& other) noexcept {
+    if (this != &other) {
+      Rollback();
+      session_ = other.session_;
+      service_ = other.service_;
+      session_label_ = std::move(other.session_label_);
+      service_label_ = std::move(other.service_label_);
+      epsilon_ = other.epsilon_;
+      other.session_ = nullptr;
+      other.service_ = nullptr;
+    }
+    return *this;
+  }
+  BudgetReservation(const BudgetReservation&) = delete;
+  BudgetReservation& operator=(const BudgetReservation&) = delete;
+
+  ~BudgetReservation() { Rollback(); }
+
+  /// Makes the charge permanent: the destructor will no longer refund.
+  /// Call exactly when the release is delivered to the caller.
+  void Commit() {
+    session_ = nullptr;
+    service_ = nullptr;
+  }
+
+  /// True while the reservation still holds ε (not committed or rolled back).
+  bool held() const { return session_ != nullptr; }
+
+  /// The reserved ε (meaningful while held).
+  double epsilon() const { return epsilon_; }
+
+ private:
+  void Rollback() {
+    if (session_ == nullptr) return;
+    session_->Refund(epsilon_, session_label_ + " [refunded]");
+    service_->Refund(epsilon_, service_label_ + " [refunded]");
+    session_ = nullptr;
+    service_ = nullptr;
+  }
+
+  SharedBudget* session_ = nullptr;
+  SharedBudget* service_ = nullptr;
+  std::string session_label_;
+  std::string service_label_;
+  double epsilon_ = 0.0;
 };
 
 /// \brief A CompositionLedger whose Record and composition queries are

@@ -1,0 +1,104 @@
+// Cooperative cancellation and deadlines for long-running scans.
+//
+// The model: the caller hands the runtime an ExecControl — an optional
+// CancelToken (an explicit "stop" switch shared between threads) and an
+// optional absolute deadline. The runtime polls Check() at coarse, natural
+// boundaries (shard edges of a parallel scan, stage transitions of a query)
+// and abandons the whole computation by throwing AbortedError, which the
+// owning front-end converts back into a Status (Cancelled or
+// DeadlineExceeded) for the caller.
+//
+// The house determinism invariant is preserved by construction: cancellation
+// decides *whether* an answer is released, never its value. A cancelled
+// computation yields no partial result — the exception abandons everything —
+// so every answer that IS delivered is bit-identical to the uncancelled
+// serial replay, and a cancelled query's budget reservation is refunded in
+// full (sound: nothing was released).
+
+#ifndef OSDP_COMMON_CANCEL_H_
+#define OSDP_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace osdp {
+
+/// \brief A copyable, thread-safe cancellation switch. Copies share one
+/// underlying flag: any holder's Cancel() is visible to every holder's
+/// cancelled(). Cancellation is sticky — there is no reset; make a fresh
+/// token per logical operation.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation; threads polling cancelled() observe it promptly
+  /// (at their next check point). Safe from any thread, idempotent.
+  void Cancel() const { flag_->store(true, std::memory_order_release); }
+
+  /// True once any copy of this token has been cancelled.
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// The exception a cooperative check point throws to abandon a computation;
+/// carries the Status (Cancelled or DeadlineExceeded) the front-end returns.
+struct AbortedError {
+  Status status;
+};
+
+/// \brief The per-operation control block the runtime polls: an optional
+/// token and an optional absolute deadline. Default-constructed, it is
+/// inert — active() is false and every Check() is OK at zero cost.
+class ExecControl {
+ public:
+  ExecControl() = default;
+  ExecControl(std::optional<CancelToken> token,
+              std::optional<std::chrono::steady_clock::time_point> deadline)
+      : token_(std::move(token)), deadline_(deadline) {}
+
+  /// True when there is anything to poll (lets hot loops skip clock reads).
+  bool active() const {
+    return token_.has_value() || deadline_.has_value();
+  }
+
+  /// OK, or Cancelled (the token fired — checked first, it is cheaper and
+  /// more specific), or DeadlineExceeded (the deadline passed).
+  Status Check() const {
+    if (token_.has_value() && token_->cancelled()) {
+      return Status::Cancelled("cancelled by caller");
+    }
+    if (deadline_.has_value() &&
+        std::chrono::steady_clock::now() >= *deadline_) {
+      return Status::DeadlineExceeded("deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  /// Check(), abandoning the computation via AbortedError on a non-OK
+  /// result — the form the shard-boundary poll sites use.
+  void ThrowIfAborted() const {
+    if (!active()) return;
+    Status status = Check();
+    if (!status.ok()) throw AbortedError{std::move(status)};
+  }
+
+  const std::optional<std::chrono::steady_clock::time_point>& deadline()
+      const {
+    return deadline_;
+  }
+
+ private:
+  std::optional<CancelToken> token_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+};
+
+}  // namespace osdp
+
+#endif  // OSDP_COMMON_CANCEL_H_

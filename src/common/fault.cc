@@ -1,0 +1,71 @@
+#include "src/common/fault.h"
+
+namespace osdp {
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, Schedule schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  if (!state.armed) armed_points_.fetch_add(1, std::memory_order_relaxed);
+  state.schedule = schedule;
+  state.armed = true;
+  state.hit_count = 0;
+  state.fire_count = 0;
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_points_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [point, state] : points_) {
+    if (state.armed) armed_points_.fetch_sub(1, std::memory_order_relaxed);
+    state.armed = false;
+  }
+  points_.clear();
+}
+
+uint64_t FaultRegistry::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hit_count;
+}
+
+uint64_t FaultRegistry::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fire_count;
+}
+
+void FaultRegistry::HitSlow(const char* point) {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end() || !it->second.armed) return;
+    PointState& state = it->second;
+    const uint64_t hit = ++state.hit_count;
+    const Schedule& s = state.schedule;
+    if (hit >= s.fire_on_hit &&
+        (s.max_fires == 0 || state.fire_count < s.max_fires)) {
+      const uint64_t since = hit - s.fire_on_hit;
+      if (since == 0 || (s.repeat_every > 0 && since % s.repeat_every == 0)) {
+        ++state.fire_count;
+        fire = true;
+      }
+    }
+  }
+  // Throw outside the lock: the unwinding path may itself cross fault points.
+  if (fire) throw InjectedFault(point);
+}
+
+}  // namespace osdp

@@ -1,0 +1,134 @@
+// FaultRegistry: deterministic fault injection for the runtime's
+// exception-safety and conservation tests.
+//
+// Production code marks the places where a failure is interesting with a
+// named *fault point*:
+//
+//   OSDP_FAULT_POINT("mask_cache/insert");
+//
+// Unarmed (the production state), a fault point is one relaxed atomic load —
+// no lock, no allocation, no branch misprediction worth measuring. A test
+// arms a point with a *schedule* (fire on the Nth hit, optionally repeating),
+// and the scheduled hits throw InjectedFault. Because schedules count hits
+// rather than consult clocks or randomness, a failing interleaving is
+// replayable: the same schedule against the same traffic fires at the same
+// hit every run.
+//
+// The registry is process-global (fault points are compiled into library
+// code that has no test context to thread through) and thread-safe: hits
+// from pool workers, writer threads, and analyst threads serialize on one
+// mutex — only while at least one point is armed, so the production path
+// never pays for it.
+//
+// Fault-point catalog: see docs/robustness.md. Tests should prefer
+// ScopedFault, which disarms on scope exit even when the test assertion
+// throws.
+
+#ifndef OSDP_COMMON_FAULT_H_
+#define OSDP_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace osdp {
+
+/// The exception a fired fault point throws. Derives from std::runtime_error
+/// so generic `catch (const std::exception&)` safety nets see it; carries the
+/// point name so tests (and the soak harness) can tell *which* injected
+/// failure produced an error Status.
+struct InjectedFault : std::runtime_error {
+  explicit InjectedFault(const std::string& fault_point)
+      : std::runtime_error("injected fault at " + fault_point),
+        point(fault_point) {}
+  std::string point;
+};
+
+/// \brief Process-global registry of named fault points with deterministic,
+/// hit-counted firing schedules. Thread-safe throughout.
+class FaultRegistry {
+ public:
+  /// When an armed point fires, as a function of its (1-based) hit count
+  /// since arming: hit N fires, then every `repeat_every`-th hit after N
+  /// (0 = fire exactly once), capped at `max_fires` total (0 = unlimited).
+  struct Schedule {
+    uint64_t fire_on_hit = 1;
+    uint64_t repeat_every = 0;
+    uint64_t max_fires = 1;
+  };
+
+  /// The process-wide registry every OSDP_FAULT_POINT reports to.
+  static FaultRegistry& Global();
+
+  /// Arms `point` with `schedule`, resetting its hit and fire counters.
+  void Arm(const std::string& point, Schedule schedule);
+
+  /// Disarms `point`; its counters remain readable until the next Arm.
+  void Disarm(const std::string& point);
+
+  /// Disarms every point and clears all counters.
+  void DisarmAll();
+
+  /// Hits of `point` observed since it was armed (0 if never armed; unarmed
+  /// points do not count hits — the production fast path returns before any
+  /// bookkeeping).
+  uint64_t hits(const std::string& point) const;
+
+  /// Times `point` has fired since it was armed.
+  uint64_t fires(const std::string& point) const;
+
+  /// \brief The hook production code calls (via OSDP_FAULT_POINT). Unarmed
+  /// registry: one relaxed atomic load and return. Armed: counts a hit for
+  /// `point` and throws InjectedFault when its schedule says fire.
+  void Hit(const char* point) {
+    if (armed_points_.load(std::memory_order_relaxed) == 0) return;
+    HitSlow(point);
+  }
+
+ private:
+  struct PointState {
+    Schedule schedule;
+    bool armed = false;
+    uint64_t hit_count = 0;
+    uint64_t fire_count = 0;
+  };
+
+  void HitSlow(const char* point);
+
+  // Number of currently-armed points; the fast-path gate.
+  std::atomic<int> armed_points_{0};
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, PointState> points_;
+};
+
+/// \brief RAII arming of one fault point: arms in the constructor, disarms in
+/// the destructor — the idiom tests use so a failed assertion can never leak
+/// an armed fault into the next test.
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, FaultRegistry::Schedule schedule)
+      : point_(std::move(point)) {
+    FaultRegistry::Global().Arm(point_, schedule);
+  }
+  ~ScopedFault() { FaultRegistry::Global().Disarm(point_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+}  // namespace osdp
+
+/// Marks a named fault point. Zero-cost (one relaxed load) unless a test has
+/// armed the registry; throws osdp::InjectedFault when the armed schedule for
+/// `name` says fire.
+#define OSDP_FAULT_POINT(name) ::osdp::FaultRegistry::Global().Hit(name)
+
+#endif  // OSDP_COMMON_FAULT_H_

@@ -26,6 +26,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Not implemented";
     case StatusCode::kIOError:
       return "IO error";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -26,6 +26,9 @@ enum class StatusCode {
   kInternal = 8,
   kNotImplemented = 9,
   kIOError = 10,
+  kResourceExhausted = 11,  ///< admission control shed the request (overload)
+  kDeadlineExceeded = 12,   ///< the request's deadline passed before release
+  kCancelled = 13,          ///< the caller cancelled the request cooperatively
 };
 
 /// \brief Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
@@ -76,6 +79,15 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   /// @}
 

@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "src/common/fault.h"
+
 namespace osdp {
 
 Result<TableBuilder> TableBuilder::Create(Table seed, const Policy& policy) {
@@ -30,6 +32,11 @@ Status TableBuilder::Append(const RowBatch& batch) {
         " differs from dataset schema " + table_.schema().ToString());
   }
   if (batch.num_rows() == 0) return Status::OK();
+
+  // Fault point before any mutation: a fired fault leaves the builder
+  // exactly as it was — the failure-atomic half of the ingest pipeline
+  // (contrast "ingest/publish", which fires after the append).
+  OSDP_FAULT_POINT("ingest/append");
 
   const size_t old_rows = table_.num_rows();
   OSDP_RETURN_IF_ERROR(table_.AppendRows(batch));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/fault.h"
+
 namespace osdp {
 
 MaskCache::MaskCache(Options options) : options_(options) {
@@ -51,6 +53,12 @@ std::shared_ptr<const RowMask> MaskCache::LookupOrComputeKeyed(
   // Compute outside the lock: the scan may itself fan out across the thread
   // pool, and unrelated keys in this shard must not serialize behind it.
   auto mask = std::make_shared<const RowMask>(compute());
+
+  // Fault point for the insert path, deliberately *before* the shard lock:
+  // a fired fault (or, in spirit, an allocation failure) unwinds without
+  // ever touching shard state, so the cache can never be corrupted by a
+  // failed insert — the next lookup of this key simply computes again.
+  OSDP_FAULT_POINT("mask_cache/insert");
 
   const size_t entry_bytes = EntryBytes(*mask, *key.canonical);
   if (entry_bytes > shard_capacity_) {

@@ -17,6 +17,12 @@ size_t ShardsOf(const ParallelScanOptions& opts, const ThreadPool& pool) {
   return pool.num_threads() == 0 ? 1 : pool.num_threads();
 }
 
+// The per-shard cancellation poll: throws AbortedError when the caller's
+// token fired or deadline passed. One branch when no control is attached.
+void PollAbort(const ParallelScanOptions& opts) {
+  if (opts.control != nullptr) opts.control->ThrowIfAborted();
+}
+
 // Runs fn(shard_index, row_begin, row_end) over word-aligned shards of
 // [0, num_rows). The shard edges are deterministic, so per-shard outputs
 // indexed by shard_index merge deterministically regardless of scheduling.
@@ -28,7 +34,10 @@ void ForEachShard(size_t num_rows, const ParallelScanOptions& opts,
       WordAlignedShards(num_rows, ShardsOf(opts, pool));
   const size_t shards = edges.size() - 1;
   pool.ParallelForBlocked(0, shards, 1, [&](size_t lo, size_t hi) {
-    for (size_t s = lo; s < hi; ++s) fn(s, edges[s], edges[s + 1]);
+    for (size_t s = lo; s < hi; ++s) {
+      PollAbort(opts);
+      fn(s, edges[s], edges[s + 1]);
+    }
   });
 }
 
@@ -53,6 +62,7 @@ size_t ParallelCount(const RowMask& mask, const ParallelScanOptions& opts) {
   const uint64_t* words = mask.words();
   pool.ParallelForBlocked(0, shards, 1, [&](size_t lo, size_t hi) {
     for (size_t s = lo; s < hi; ++s) {
+      PollAbort(opts);
       const size_t wlo = edges[s] >> 6;
       const size_t whi = (edges[s + 1] + 63) >> 6;
       size_t n = 0;
@@ -121,6 +131,7 @@ Histogram ParallelAccumulateHistogram(const PreparedHistogramQuery& prepared,
   std::vector<Histogram> partial(shards, Histogram(prepared.num_bins()));
   pool.ParallelForBlocked(0, shards, 1, [&](size_t lo, size_t hi) {
     for (size_t s = lo; s < hi; ++s) {
+      PollAbort(opts);
       prepared.AccumulateRange(selected, edges[s], edges[s + 1], &partial[s]);
     }
   });

@@ -23,6 +23,7 @@
 #ifndef OSDP_RUNTIME_PARALLEL_SCAN_H_
 #define OSDP_RUNTIME_PARALLEL_SCAN_H_
 
+#include "src/common/cancel.h"
 #include "src/common/result.h"
 #include "src/data/compiled_predicate.h"
 #include "src/data/row_mask.h"
@@ -39,6 +40,14 @@ struct ParallelScanOptions {
   ThreadPool* pool = nullptr;
   /// Number of shards; 0 = one per pool worker (minimum 1).
   size_t num_shards = 0;
+  /// Cooperative cancellation/deadline control, polled once per shard
+  /// (coarse by design: a shard is the natural preemption grain — millions
+  /// of rows scan in milliseconds, and finer polling would put a clock read
+  /// in the hot loop). nullptr = never cancelled. When a poll trips, the
+  /// whole scan is abandoned by AbortedError (src/common/cancel.h) — there
+  /// is never a partial result, so delivered results keep the bit-identity
+  /// contract above untouched.
+  const ExecControl* control = nullptr;
 };
 
 /// CompiledPredicate::EvalMask, sharded: each shard evaluates its word-

@@ -1,9 +1,11 @@
 #include "src/runtime/query_service.h"
 
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
 #include "src/common/distributions.h"
+#include "src/common/fault.h"
 #include "src/data/compiled_predicate.h"
 #include "src/runtime/parallel_scan.h"
 
@@ -27,8 +29,13 @@ struct QueryService::PreparedRequest {
   // holding the pointer keeps the generation alive through execution.
   SnapshotPtr snapshot;
   double epsilon = 0.0;
+  uint64_t seq = 0;
   uint64_t seed = 0;
   std::string label;
+
+  // Per-query deadline/cancellation, resolved at validation (the tighter of
+  // the request's and the batch's deadline, plus the batch token).
+  ExecControl control;
 
   // Count form: the WHERE clause, compiled during validation.
   std::optional<CompiledPredicate> count_pred;
@@ -38,6 +45,14 @@ struct QueryService::PreparedRequest {
   // compiled exactly once per query.
   std::optional<PreparedHistogramQuery> hist_prepared;
   EngineMechanism mechanism = EngineMechanism::kOsdpLaplaceL1;
+
+  // The two-budget ε charge, held from reservation until Execute commits it
+  // at delivery. Destroying a PreparedRequest whose reservation was never
+  // committed refunds both budgets — the single mechanism behind every
+  // failure path's refund (error, injected fault, deadline, cancellation).
+  // Declared after `session` so destruction (reverse order) refunds into a
+  // session budget that is still alive.
+  BudgetReservation reservation;
 };
 
 QueryService::QueryService(OsdpEngine engine, TableBuilder builder,
@@ -91,13 +106,30 @@ Status QueryService::CloseSession(SessionId session) {
 
 Result<uint64_t> QueryService::Ingest(const RowBatch& batch) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
-  OSDP_RETURN_IF_ERROR(builder_.Append(batch));
-  // Build the complete next generation, then publish it with one atomic
-  // swap: a concurrent reader captures either the old snapshot in full or
-  // the new one in full, never a mixture.
-  const uint64_t generation = store_.Current()->generation + 1;
-  store_.Publish(builder_.BuildSnapshot(generation));
-  return generation;
+  try {
+    OSDP_RETURN_IF_ERROR(builder_.Append(batch));
+    if (batch.num_rows() == 0) {
+      // Schema-valid but empty: a no-op. Publishing a new generation here
+      // would invalidate every cached (predicate, generation) mask for
+      // nothing — the dataset is bit-identical — so the current snapshot
+      // stays, and so do its cache entries.
+      return store_.Current()->generation;
+    }
+    // Build the complete next generation, then publish it with one atomic
+    // swap: a concurrent reader captures either the old snapshot in full or
+    // the new one in full, never a mixture. A fault between append and
+    // publish ("ingest/publish") leaves the rows in the builder unpublished;
+    // they ride along with the next successful Ingest.
+    const uint64_t generation = store_.Current()->generation + 1;
+    SnapshotPtr next = builder_.BuildSnapshot(generation);
+    OSDP_FAULT_POINT("ingest/publish");
+    store_.Publish(std::move(next));
+    return generation;
+  } catch (const InjectedFault& fault) {
+    return Status::Internal(fault.what());
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("ingest failed: ") + e.what());
+  }
 }
 
 std::shared_ptr<QueryService::Session> QueryService::FindSession(
@@ -115,13 +147,43 @@ Result<double> QueryService::session_remaining(SessionId session) const {
   return s->budget.remaining();
 }
 
+bool QueryService::TryAdmit(size_t batch_queries) {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  if (options_.max_concurrent_batches != 0 &&
+      inflight_batches_ >= options_.max_concurrent_batches) {
+    ++admission_stats_.rejected;
+    return false;
+  }
+  if (options_.max_queued_queries != 0 &&
+      inflight_queries_ + batch_queries > options_.max_queued_queries) {
+    ++admission_stats_.rejected;
+    return false;
+  }
+  ++inflight_batches_;
+  inflight_queries_ += batch_queries;
+  ++admission_stats_.admitted;
+  if (inflight_batches_ > admission_stats_.peak_inflight) {
+    admission_stats_.peak_inflight = inflight_batches_;
+  }
+  return true;
+}
+
+void QueryService::EndBatch(size_t batch_queries) {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  --inflight_batches_;
+  inflight_queries_ -= batch_queries;
+}
+
 Result<QueryService::PreparedRequest> QueryService::Validate(
-    const ServiceRequest& request, const SnapshotPtr& snapshot) const {
+    const ServiceRequest& request, const SnapshotPtr& snapshot,
+    const BatchControl& control) const {
   PreparedRequest prepared;
   prepared.snapshot = snapshot;
 
   // Validate fully before touching either budget: a malformed query or a
   // non-positive ε must cost nothing.
+  std::optional<std::chrono::steady_clock::time_point> deadline =
+      control.deadline;
   if (const auto* count = std::get_if<CountRequest>(&request)) {
     if (count->epsilon <= 0.0) {
       return Status::InvalidArgument("epsilon must be positive");
@@ -132,6 +194,10 @@ Result<QueryService::PreparedRequest> QueryService::Validate(
     prepared.count_pred = std::move(compiled);
     prepared.epsilon = count->epsilon;
     prepared.label = "count query";
+    if (count->deadline.has_value() &&
+        (!deadline.has_value() || *count->deadline < *deadline)) {
+      deadline = count->deadline;
+    }
   } else {
     const auto& hist = std::get<HistogramRequest>(request);
     if (hist.epsilon <= 0.0) {
@@ -145,26 +211,33 @@ Result<QueryService::PreparedRequest> QueryService::Validate(
     prepared.epsilon = hist.epsilon;
     prepared.label =
         std::string("histogram/") + EngineMechanismToString(hist.mechanism);
+    if (hist.deadline.has_value() &&
+        (!deadline.has_value() || *hist.deadline < *deadline)) {
+      deadline = hist.deadline;
+    }
   }
+  prepared.control = ExecControl(control.cancel, deadline);
   return prepared;
 }
 
 Status QueryService::Reserve(Session& session, PreparedRequest* prepared) {
-  // Two-budget reservation: the session first (the analyst's own limit),
-  // then the service-wide lifetime budget, rolling the session back if the
-  // dataset is out of ε.
-  OSDP_RETURN_IF_ERROR(
-      session.budget.Spend(prepared->epsilon, prepared->label));
-  const Status service_status = service_budget_.Spend(
-      prepared->epsilon, prepared->label + " (" + session.analyst + ")");
-  if (!service_status.ok()) {
-    session.budget.Refund(prepared->epsilon, prepared->label);
-    return service_status;
-  }
+  // Two-budget reservation through the RAII BudgetReservation: the session
+  // first (the analyst's own limit), then the service-wide lifetime budget
+  // (Acquire rolls the session back itself if the dataset is out of ε).
+  // From here until Execute commits, destroying the prepared request —
+  // whatever made it die — refunds both budgets.
+  Result<BudgetReservation> reservation = BudgetReservation::Acquire(
+      &session.budget, prepared->label, &service_budget_,
+      prepared->label + " (" + session.analyst + ")", prepared->epsilon);
+  if (!reservation.ok()) return reservation.status();
+  prepared->reservation = std::move(reservation).ValueOrDie();
 
-  prepared->seed =
-      QuerySeed(options_.seed, session.id, session.next_seq.fetch_add(1),
-                prepared->snapshot->generation);
+  // The sequence number is consumed here, at reservation — a query that
+  // reserves and then fails leaves a hole in the delivered seq range, which
+  // is why ServiceAnswer reports the seq it was seeded with.
+  prepared->seq = session.next_seq.fetch_add(1);
+  prepared->seed = QuerySeed(options_.seed, session.id, prepared->seq,
+                             prepared->snapshot->generation);
   return Status::OK();
 }
 
@@ -181,16 +254,24 @@ std::shared_ptr<const RowMask> QueryService::CachedScanMask(
       [&] { return ParallelEvalMask(pred, snap.table, scan); }, cache_hit);
 }
 
-Result<ServiceAnswer> QueryService::Execute(const PreparedRequest& prepared) {
-  const ParallelScanOptions scan{options_.pool, options_.num_shards};
-  const Snapshot& snap = *prepared.snapshot;
-  Rng rng(prepared.seed);
+Result<ServiceAnswer> QueryService::Execute(PreparedRequest* prepared) {
+  OSDP_FAULT_POINT("query/execute");
+  // Entry check: a deadline that passed while the query sat behind the
+  // reservation phase, or a token fired before any scan ran, abandons the
+  // query before it costs a single row.
+  prepared->control.ThrowIfAborted();
+
+  ParallelScanOptions scan{options_.pool, options_.num_shards};
+  if (prepared->control.active()) scan.control = &prepared->control;
+  const Snapshot& snap = *prepared->snapshot;
+  Rng rng(prepared->seed);
   ServiceAnswer answer;
   answer.generation = snap.generation;
+  answer.seq = prepared->seq;
 
-  if (prepared.count_pred.has_value()) {
+  if (prepared->count_pred.has_value()) {
     const std::shared_ptr<const RowMask> scan_mask =
-        CachedScanMask(*prepared.count_pred, snap, scan, &answer.cache_hit);
+        CachedScanMask(*prepared->count_pred, snap, scan, &answer.cache_hit);
     // The cached mask is immutable and shared; combining with the policy
     // mask works on a copy — word operations, negligible next to the scan
     // the cache hit skipped.
@@ -198,20 +279,21 @@ Result<ServiceAnswer> QueryService::Execute(const PreparedRequest& prepared) {
     ParallelAndWith(&matching, snap.non_sensitive, scan);
     const double count = static_cast<double>(ParallelCount(matching, scan));
     // One-sided Laplace with sensitivity 1, exactly OsdpEngine::AnswerCount.
-    answer.count = count + SampleOneSidedLaplace(rng, 1.0 / prepared.epsilon);
+    OSDP_FAULT_POINT("mechanism/run");
+    answer.count = count + SampleOneSidedLaplace(rng, 1.0 / prepared->epsilon);
   } else {
-    const PreparedHistogramQuery& query = *prepared.hist_prepared;
+    const PreparedHistogramQuery& query = *prepared->hist_prepared;
 
     // Compute only the histogram(s) the mechanism reads: x (all rows) for
     // the DP mechanisms, x_ns for the one-sided ones, both for DAWAz. The
     // WHERE mask, when present, is evaluated once and shared.
-    const bool need_x = prepared.mechanism == EngineMechanism::kLaplace ||
-                        prepared.mechanism == EngineMechanism::kDawa ||
-                        prepared.mechanism == EngineMechanism::kDawaz;
+    const bool need_x = prepared->mechanism == EngineMechanism::kLaplace ||
+                        prepared->mechanism == EngineMechanism::kDawa ||
+                        prepared->mechanism == EngineMechanism::kDawaz;
     const bool need_xns =
-        prepared.mechanism == EngineMechanism::kOsdpLaplace ||
-        prepared.mechanism == EngineMechanism::kOsdpLaplaceL1 ||
-        prepared.mechanism == EngineMechanism::kDawaz;
+        prepared->mechanism == EngineMechanism::kOsdpLaplace ||
+        prepared->mechanism == EngineMechanism::kOsdpLaplaceL1 ||
+        prepared->mechanism == EngineMechanism::kDawaz;
 
     std::shared_ptr<const RowMask> where_mask;
     if (query.where() != nullptr) {
@@ -239,30 +321,52 @@ Result<ServiceAnswer> QueryService::Execute(const PreparedRequest& prepared) {
       }
     }
 
+    OSDP_FAULT_POINT("mechanism/run");
     Result<Histogram> released = engine_.RunMechanism(
-        x, xns, prepared.epsilon, prepared.mechanism, rng);
-    if (!released.ok()) {
-      prepared.session->budget.Refund(prepared.epsilon,
-                                      prepared.label + " [failed: mechanism]");
-      service_budget_.Refund(prepared.epsilon,
-                             prepared.label + " (" +
-                                 prepared.session->analyst +
-                                 ") [failed: mechanism]");
-      return released.status();
-    }
+        x, xns, prepared->epsilon, prepared->mechanism, rng);
+    // A refused release costs nothing: the reservation is still held, so the
+    // prepared request's destruction refunds both budgets — no hand-rolled
+    // refund path to forget.
+    if (!released.ok()) return released.status();
     answer.histogram = std::move(released).ValueOrDie();
   }
 
-  ledger_.Record(engine_.policy(), prepared.epsilon,
-                 prepared.label + " (" + prepared.session->analyst + ")",
+  // Last check point before the release becomes real: a cancellation that
+  // lands here discards the computed answer whole (never a partial or
+  // altered one) and the reservation refunds. Past this line, the answer is
+  // delivered and the charge is permanent.
+  prepared->control.ThrowIfAborted();
+  prepared->reservation.Commit();
+  ledger_.Record(engine_.policy(), prepared->epsilon,
+                 prepared->label + " (" + prepared->session->analyst + ")",
                  snap.generation);
   return answer;
 }
 
 std::vector<Result<ServiceAnswer>> QueryService::AnswerBatch(
-    SessionId session, const std::vector<ServiceRequest>& batch) {
+    SessionId session, const std::vector<ServiceRequest>& batch,
+    const BatchControl& control) {
   std::vector<Result<ServiceAnswer>> results(
       batch.size(), Result<ServiceAnswer>(Status::Internal("not executed")));
+  if (batch.empty()) return results;
+
+  // Phase 0: the admission gate. Shed-whole-batch keeps the decision a pure
+  // function of load — an admitted batch's answers are bit-identical to an
+  // unloaded replay because admission never looks inside the queries.
+  if (!TryAdmit(batch.size())) {
+    for (auto& r : results) {
+      r = Status::ResourceExhausted(
+          "admission control: service at capacity, batch shed");
+    }
+    return results;
+  }
+  // Local classes share the enclosing member's access; the guard pairs the
+  // successful TryAdmit with exactly one EndBatch on every exit path.
+  struct AdmissionGuard {
+    QueryService* service;
+    size_t queries;
+    ~AdmissionGuard() { service->EndBatch(queries); }
+  } admission_guard{this, batch.size()};
 
   std::shared_ptr<Session> s = FindSession(session);
   if (s == nullptr) {
@@ -282,7 +386,7 @@ std::vector<Result<ServiceAnswer>> QueryService::AnswerBatch(
   // batches pay the compilation cost in parallel.
   std::vector<std::optional<PreparedRequest>> prepared(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
-    Result<PreparedRequest> r = Validate(batch[i], snapshot);
+    Result<PreparedRequest> r = Validate(batch[i], snapshot, control);
     if (r.ok()) {
       prepared[i] = std::move(r).ValueOrDie();
       prepared[i]->session = s;
@@ -306,14 +410,44 @@ std::vector<Result<ServiceAnswer>> QueryService::AnswerBatch(
 
   // Phase 2 (parallel): execute the reserved queries. Each slot is written
   // by exactly one chunk, and every scan inside shards further across the
-  // same pool (nesting is safe — the caller participates).
+  // same pool (nesting is safe — the caller participates). Every per-query
+  // failure mode — error Status, tripped deadline/cancel poll, injected
+  // fault, any other exception — is converted to an error Result in its own
+  // slot here, so one query can never take down the batch; resetting the
+  // slot's PreparedRequest immediately after refunds an uncommitted
+  // reservation promptly rather than at end of batch.
   ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : ThreadPool::Default();
-  pool.ParallelForBlocked(0, batch.size(), 1, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      if (prepared[i].has_value()) results[i] = Execute(*prepared[i]);
+  try {
+    pool.ParallelForBlocked(0, batch.size(), 1, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        if (!prepared[i].has_value()) continue;
+        try {
+          results[i] = Execute(&*prepared[i]);
+        } catch (const AbortedError& aborted) {
+          results[i] = aborted.status;
+        } catch (const InjectedFault& fault) {
+          results[i] = Status::Internal(fault.what());
+        } catch (const std::exception& e) {
+          results[i] =
+              Status::Internal(std::string("query execution failed: ") +
+                               e.what());
+        }
+        prepared[i].reset();
+      }
+    });
+  } catch (const std::exception& e) {
+    // A fault injected into the pool chunk itself ("thread_pool/chunk"),
+    // rethrown by ParallelForBlocked after the barrier. Slots whose chunks
+    // never ran keep their reservations; the loop below surfaces the error
+    // and destroying `prepared` refunds every uncommitted charge.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (prepared[i].has_value()) {
+        results[i] = Status::Internal(std::string("batch chunk failed: ") +
+                                      e.what());
+      }
     }
-  });
+  }
   return results;
 }
 

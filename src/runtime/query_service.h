@@ -36,6 +36,32 @@
 //     is built around. ServiceAnswer.cache_hit and cache_stats() expose the
 //     behavior to tests and benches.
 //
+// Fault tolerance — the robustness layer (docs/robustness.md):
+//
+//   * Admission control: Options::max_concurrent_batches and
+//     max_queued_queries bound the work in flight. Over the bound,
+//     AnswerBatch sheds the whole batch immediately with ResourceExhausted —
+//     zero ε is reserved, zero scans run — instead of queueing unboundedly.
+//     AdmissionStats (admitted/rejected/peak_inflight) expose the behavior.
+//   * Deadlines and cancellation: each request may carry an absolute
+//     deadline, and a batch may carry a CancelToken (BatchControl). Both are
+//     polled cooperatively at shard boundaries inside every scan and at
+//     stage transitions; a tripped poll abandons the query, which comes back
+//     as DeadlineExceeded/Cancelled with its reservation refunded in full
+//     (sound: nothing was released). Cancellation decides *whether* an
+//     answer is released, never its value — every delivered answer stays
+//     bit-identical to the serial replay of its (generation, session, seq).
+//   * Exception safety: the ε charge is held by an RAII BudgetReservation
+//     (commit on delivery, refund on every other exit — error, injected
+//     fault, cancellation), execution failures of any kind surface as error
+//     Results in the matching batch slot, and a throw inside a pool task is
+//     rethrown by ParallelForBlocked in the caller instead of terminating
+//     the process. The conservation invariant — ε spent equals the Σ ε of
+//     delivered answers, with one ledger entry per delivery — holds under
+//     any schedule of injected faults (src/common/fault.h), which the soak
+//     suite (tests/fault_test.cc, bench/bench_fault_soak.cc) drives against
+//     overload and concurrent ingest.
+//
 // Correctness properties, each pinned by tests/query_service_test.cc:
 //
 //   * Determinism: a query's noise stream is seeded from QuerySeed(service
@@ -59,6 +85,7 @@
 #define OSDP_RUNTIME_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -68,6 +95,7 @@
 #include <vector>
 
 #include "src/accounting/concurrent.h"
+#include "src/common/cancel.h"
 #include "src/common/result.h"
 #include "src/core/engine.h"
 #include "src/data/predicate.h"
@@ -86,6 +114,10 @@ namespace osdp {
 struct CountRequest {
   Predicate where;
   double epsilon = 0.1;
+  /// Absolute per-request deadline; past it, the query is abandoned at the
+  /// next cooperative check point and returns DeadlineExceeded with its ε
+  /// fully refunded. Combines with any BatchControl deadline (earlier wins).
+  std::optional<std::chrono::steady_clock::time_point> deadline = std::nullopt;
 };
 
 /// A histogram release through `mechanism`, charging `epsilon`.
@@ -93,6 +125,8 @@ struct HistogramRequest {
   HistogramQuery query;
   double epsilon = 0.1;
   EngineMechanism mechanism = EngineMechanism::kOsdpLaplaceL1;
+  /// Absolute per-request deadline; see CountRequest::deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline = std::nullopt;
 };
 
 /// One query of a batch.
@@ -106,6 +140,13 @@ struct ServiceAnswer {
   double count = 0.0;
   std::optional<Histogram> histogram;
   uint64_t generation = 0;
+  /// The per-session submission sequence number this answer's noise stream
+  /// was seeded with — together with (root seed, session, generation) it is
+  /// the full replay key (see QuerySeed). Sequence numbers are consumed at
+  /// reservation, so a query that reserved and then failed (fault, deadline)
+  /// leaves a hole in the delivered seq range; replay uses the recorded seq,
+  /// never the delivery index.
+  uint64_t seq = 0;
   /// True iff the deterministic scan mask behind this answer (the count's
   /// WHERE mask, or the histogram's WHERE mask) was served from the
   /// service's MaskCache instead of being rescanned. Purely observational:
@@ -143,6 +184,37 @@ class QueryService {
     size_t mask_cache_bytes = 64ull << 20;
     /// Lock shards of the mask cache.
     size_t mask_cache_shards = 8;
+    /// Admission control: maximum AnswerBatch calls executing concurrently;
+    /// 0 = unlimited. A batch arriving at the bound is shed whole — every
+    /// slot returns ResourceExhausted, nothing is reserved or scanned.
+    size_t max_concurrent_batches = 0;
+    /// Admission control: maximum queries (summed over in-flight batches)
+    /// allowed in the service at once; 0 = unlimited. A batch whose size
+    /// would push the total past the bound is shed whole — so under
+    /// overload, the shed/admit decision depends only on load, never on
+    /// query contents, keeping admitted answers bit-identical to an
+    /// unloaded replay.
+    size_t max_queued_queries = 0;
+  };
+
+  /// Load-shedding counters: batches admitted, batches shed with
+  /// ResourceExhausted, and the peak number of concurrently executing
+  /// batches observed (the high-water mark max_concurrent_batches clamps).
+  struct AdmissionStats {
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t peak_inflight = 0;
+  };
+
+  /// Batch-wide execution control for AnswerBatch: an optional absolute
+  /// deadline applied to every query of the batch (a per-request deadline
+  /// tightens it further; the earlier one wins) and an optional CancelToken
+  /// the caller can fire from any thread to abandon whatever has not yet
+  /// been released. Abandoned queries return DeadlineExceeded/Cancelled
+  /// with their ε refunded in full.
+  struct BatchControl {
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    std::optional<CancelToken> cancel;
   };
 
   /// Takes ownership of `engine`; its remaining budget becomes the
@@ -154,7 +226,17 @@ class QueryService {
   /// Opens a session for `analyst` with a fresh per-session budget.
   SessionId OpenSession(const std::string& analyst);
 
-  /// Closes a session; in-flight batches complete, new ones are rejected.
+  /// \brief Closes a session; in-flight batches complete, new ones are
+  /// rejected with NotFound.
+  ///
+  /// Safe concurrently with that session's own AnswerBatch: every prepared
+  /// query captures the Session object through a shared_ptr at submission,
+  /// so a batch in flight when CloseSession lands keeps its session — and
+  /// with it the budget its reservations commit into or refund to — alive
+  /// until the batch finishes. Its answers are delivered normally, its
+  /// charges and ledger entries remain valid and reconcile exactly; only
+  /// *new* submissions observe the close. (Pinned by
+  /// QueryServiceTest.CloseSessionDuringInFlightBatch.)
   Status CloseSession(SessionId session);
 
   /// \brief Appends `batch` (same schema as the dataset) as the next
@@ -163,17 +245,31 @@ class QueryService {
   /// scanned), and every query submitted after the swap sees them. Queries
   /// already submitted keep answering against the generation they captured.
   /// Returns the new generation id. InvalidArgument (and no new generation)
-  /// on a schema mismatch. Thread-safe; concurrent Ingest calls serialize.
+  /// on a schema mismatch. An *empty* batch of the right schema is a no-op
+  /// returning the current generation — no snapshot is published, so cached
+  /// masks and in-flight readers are untouched. Thread-safe; concurrent
+  /// Ingest calls serialize.
+  ///
+  /// Failure atomicity: a failed Ingest publishes nothing, so readers never
+  /// observe a torn or partial generation. If the failure struck *after*
+  /// the rows were appended but before publish (the "ingest/publish" fault
+  /// window), those rows are not lost: they ride along with the next
+  /// successful Ingest's generation. The error message names the injected
+  /// fault point, so a caller (or the soak harness) can tell the two
+  /// windows apart.
   Result<uint64_t> Ingest(const RowBatch& batch);
 
   /// \brief Answers a batch of queries for `session`, all against the
   /// snapshot captured when the batch was submitted. Validation and budget
   /// reservation happen serially in batch order; execution runs sharded
   /// across the pool. Per-query failures (malformed query, exhausted
-  /// budget) come back as error Results in the matching slot without
-  /// failing the rest of the batch.
+  /// budget, deadline, cancellation, injected fault) come back as error
+  /// Results in the matching slot without failing the rest of the batch.
+  /// Under admission-control overload the whole batch is shed: every slot
+  /// returns ResourceExhausted and nothing is charged.
   std::vector<Result<ServiceAnswer>> AnswerBatch(
-      SessionId session, const std::vector<ServiceRequest>& batch);
+      SessionId session, const std::vector<ServiceRequest>& batch,
+      const BatchControl& control = {});
 
   /// Convenience single-query forms.
   Result<ServiceAnswer> AnswerCount(SessionId session, const Predicate& where,
@@ -218,6 +314,13 @@ class QueryService {
   /// timing. All zero when the cache is disabled.
   MaskCache::Stats cache_stats() const { return mask_cache_.stats(); }
 
+  /// Admission counters {admitted, rejected, peak_inflight} so tests and
+  /// the load bench can assert shedding behavior exactly.
+  AdmissionStats admission_stats() const {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    return admission_stats_;
+  }
+
   /// Number of rows in the latest published generation.
   size_t num_rows() const { return store_.Current()->table.num_rows(); }
 
@@ -239,20 +342,33 @@ class QueryService {
 
   std::shared_ptr<Session> FindSession(SessionId session) const;
 
+  // Phase 0: the admission gate. Returns true and counts the batch in when
+  // the in-flight bounds admit it; false (caller sheds with
+  // ResourceExhausted) otherwise. Every TryAdmit(true) is paired with
+  // exactly one EndBatch by AnswerBatch's scope guard.
+  bool TryAdmit(size_t batch_queries);
+  void EndBatch(size_t batch_queries);
+
   // Phase 1a: validate and bind one request against the captured snapshot —
   // predicate compilation, histogram binding, ε checks. CPU-bound and
   // lock-free, so concurrent batches validate in parallel.
   Result<PreparedRequest> Validate(const ServiceRequest& request,
-                                   const SnapshotPtr& snapshot) const;
+                                   const SnapshotPtr& snapshot,
+                                   const BatchControl& control) const;
 
-  // Phase 1b: reserve both budgets and assign the noise seed. Callers hold
-  // reserve_mu_, so the (session, service) pair commits atomically and in
-  // deterministic batch order.
+  // Phase 1b: reserve both budgets (held by the prepared request's RAII
+  // BudgetReservation until Execute commits) and assign the noise seed.
+  // Callers hold reserve_mu_, so the (session, service) pair commits
+  // atomically and in deterministic batch order.
   Status Reserve(Session& session, PreparedRequest* prepared);
 
   // Phase 2: execute one prepared query against its captured snapshot
-  // (parallel, shard-local state only).
-  Result<ServiceAnswer> Execute(const PreparedRequest& prepared);
+  // (parallel, shard-local state only). Commits the reservation exactly
+  // when the answer is delivered; any other exit — error Status, AbortedError
+  // from a tripped deadline/cancel poll, InjectedFault or any other
+  // exception unwinding through — leaves the reservation armed, and the
+  // caller's destruction of the prepared request refunds it in full.
+  Result<ServiceAnswer> Execute(PreparedRequest* prepared);
 
   // The scan mask of `pred` over `snap`'s table, served from the mask cache
   // when enabled (lookup keyed by fingerprint × snap.generation, computed
@@ -281,6 +397,13 @@ class QueryService {
   // Serializes phase-1 reservation so the (session, service) budget pair
   // commits atomically and in deterministic batch order.
   std::mutex reserve_mu_;
+
+  // The admission gate's book-keeping (a plain mutex: touched twice per
+  // batch, invisible next to the scans it admits).
+  mutable std::mutex admission_mu_;
+  size_t inflight_batches_ = 0;
+  size_t inflight_queries_ = 0;
+  AdmissionStats admission_stats_;
 };
 
 }  // namespace osdp

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cctype>
 #include <cstdlib>
+#include <exception>
 #include <memory>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/fault.h"
 
 namespace osdp {
 
@@ -66,21 +70,43 @@ struct LoopState {
   size_t end;
 
   std::atomic<size_t> next{0};  // next unclaimed chunk index
-  std::atomic<size_t> done{0};  // chunks fully executed
+  std::atomic<size_t> done{0};  // chunks fully executed (or skipped)
+
+  // First exception thrown by any chunk, rethrown by the caller after the
+  // barrier. `failed` is the fast-path gate claimers poll to stop starting
+  // new chunks; `error` is written once under `mu` and read by the caller
+  // only after the done-counter barrier (the acq_rel fetch_add below
+  // publishes it).
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
 
   std::mutex mu;
   std::condition_variable cv;
 
   // Claims and runs chunks until none are left. Returns the number executed.
+  // Never throws: a chunk exception is captured for the caller's rethrow,
+  // remaining claims are fast-forwarded (counted done without running fn) so
+  // the barrier still completes and worker threads survive.
   size_t Drain() {
     size_t ran = 0;
     for (;;) {
       const size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
-      const size_t lo = begin + c * chunk;
-      const size_t hi = lo + chunk < end ? lo + chunk : end;
-      (*fn)(lo, hi);
-      ++ran;
+      if (!failed.load(std::memory_order_relaxed)) {
+        const size_t lo = begin + c * chunk;
+        const size_t hi = lo + chunk < end ? lo + chunk : end;
+        try {
+          OSDP_FAULT_POINT("thread_pool/chunk");
+          (*fn)(lo, hi);
+          ++ran;
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            if (error == nullptr) error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
         std::lock_guard<std::mutex> lock(mu);
         cv.notify_all();
@@ -100,7 +126,12 @@ void ThreadPool::ParallelForBlocked(
   const size_t n = end - begin;
   const size_t num_chunks = (n + chunk - 1) / chunk;
   if (num_chunks == 1 || threads_.empty()) {
+    // Serial degeneration: exceptions propagate to the caller directly —
+    // the same contract as the parallel path's capture-and-rethrow. The
+    // fault point fires here too, so hit-counted schedules are invariant
+    // across thread counts.
     for (size_t lo = begin; lo < end; lo += chunk) {
+      OSDP_FAULT_POINT("thread_pool/chunk");
       fn(lo, lo + chunk < end ? lo + chunk : end);
     }
     return;
@@ -126,18 +157,36 @@ void ThreadPool::ParallelForBlocked(
   state->cv.wait(lock, [&] {
     return state->done.load(std::memory_order_acquire) == state->num_chunks;
   });
+  // Every chunk is accounted for; helpers that wake later find the counter
+  // exhausted and never touch fn. Surface the first chunk failure here, in
+  // the calling thread — the only thread with a caller to surface it to.
+  if (state->error != nullptr) {
+    std::exception_ptr error = state->error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+size_t ParseNumThreads(const char* value, size_t fallback) {
+  if (value == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || errno == ERANGE) return fallback;  // no digits/overflow
+  while (*end != '\0' && std::isspace(static_cast<unsigned char>(*end))) {
+    ++end;
+  }
+  if (*end != '\0') return fallback;  // trailing garbage ("4x", "2.5")
+  // Negative values mean "no workers" (the inline pool), not a size_t
+  // wraparound's worth of threads.
+  return parsed > 0 ? static_cast<size_t>(parsed) : 0;
 }
 
 ThreadPool& ThreadPool::Default() {
   static ThreadPool* pool = [] {
-    size_t n = std::thread::hardware_concurrency();
-    if (const char* env = std::getenv("OSDP_NUM_THREADS")) {
-      // Negative values mean "no workers" (the inline pool), not a size_t
-      // wraparound's worth of threads.
-      const long long parsed = std::atoll(env);
-      n = parsed > 0 ? static_cast<size_t>(parsed) : 0;
-    }
-    return new ThreadPool(n);
+    const size_t hw = std::thread::hardware_concurrency();
+    return new ThreadPool(
+        ParseNumThreads(std::getenv("OSDP_NUM_THREADS"), hw));
   }();
   return *pool;
 }

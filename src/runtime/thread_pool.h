@@ -14,7 +14,13 @@
 //      touched only for the final "last chunk finished" hand-off.
 //   3. Determinism of *results* is the responsibility of the work being
 //      sharded (each chunk writes to disjoint state); the pool itself
-//      guarantees only that fn runs exactly once per chunk.
+//      guarantees only that fn runs at most once per chunk (exactly once
+//      when no chunk throws).
+//   4. Exception safety. A chunk that throws never reaches std::terminate:
+//      ParallelForBlocked captures the first exception, stops claiming
+//      further chunks, waits for in-flight chunks to finish, and rethrows in
+//      the *calling* thread — so callers handle pool-task failures with
+//      ordinary try/catch, and worker threads survive to serve the next loop.
 //
 // No external dependencies: <thread>, <mutex>, <condition_variable>, <atomic>.
 
@@ -64,13 +70,22 @@ class ThreadPool {
   /// Chunk boundaries are deterministic functions of (begin, end, chunk);
   /// which thread runs which chunk is not — fn must write only to
   /// chunk-local or per-chunk state.
+  ///
+  /// If fn throws in any chunk, no further chunks are started, in-flight
+  /// chunks run to completion, and the *first* captured exception is
+  /// rethrown here, in the calling thread, after the barrier — never
+  /// std::terminate, and the pool remains fully usable. Which exception is
+  /// "first" is a race when several chunks throw concurrently; callers that
+  /// need determinism should make fn throw deterministically (the fault
+  /// registry's hit-counted schedules do).
   void ParallelForBlocked(size_t begin, size_t end, size_t chunk,
                           const std::function<void(size_t, size_t)>& fn);
 
   /// \brief The process-wide default pool, created on first use with
   /// OSDP_NUM_THREADS workers (env var), defaulting to
   /// std::thread::hardware_concurrency(). OSDP_NUM_THREADS=0 gives the
-  /// inline (serial) pool.
+  /// inline (serial) pool; unparsable values fall back to
+  /// hardware_concurrency (see ParseNumThreads).
   static ThreadPool& Default();
 
  private:
@@ -82,6 +97,13 @@ class ThreadPool {
   bool stop_ = false;
   std::vector<std::thread> threads_;
 };
+
+/// \brief Parses an OSDP_NUM_THREADS-style value: a base-10 integer with
+/// optional surrounding whitespace. Negative values clamp to 0 (the inline
+/// pool). Anything unparsable — empty, no digits, trailing garbage
+/// ("garbage", "4x"), out of range — returns `fallback` instead of silently
+/// becoming 0: a typo in the env var must not quietly serialize the service.
+size_t ParseNumThreads(const char* value, size_t fallback);
 
 /// \brief Word-aligned shard boundaries for row-range sharding.
 ///

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "src/benchdata/table_gen.h"
+#include "src/common/cancel.h"
 #include "src/common/distributions.h"
 #include "src/common/random.h"
 #include "src/core/engine.h"
@@ -606,6 +607,276 @@ TEST(QueryServiceStreamingTest, ConcurrentIngestMatchesSerialReplay) {
 TEST(QueryServiceStreamingTest,
      ConcurrentIngestMatchesSerialReplayWithMaskCache) {
   RunConcurrentIngestStressHarness(/*mask_cache_bytes=*/64ull << 20);
+}
+
+TEST(QueryServiceStreamingTest, EmptyIngestIsANoOpThatPreservesCachedMasks) {
+  // An empty batch of the right schema must not publish a new generation:
+  // the dataset is bit-identical, and a generation bump would orphan every
+  // cached (predicate, generation) mask for nothing.
+  auto service = *QueryService::Create(TestEngine(10.0), {});
+  const auto session = service->OpenSession("alice");
+  const Predicate pred = Predicate::Le("age", Value(33));
+
+  const auto miss = *service->AnswerCount(session, pred, 0.05);
+  EXPECT_FALSE(miss.cache_hit);
+
+  const Table empty(service->current_snapshot()->table.schema());
+  const auto generation = service->Ingest(empty);
+  ASSERT_TRUE(generation.ok()) << generation.status().ToString();
+  EXPECT_EQ(*generation, 0u) << "no new generation for an empty batch";
+  EXPECT_EQ(service->current_generation(), 0u);
+
+  // The cached mask survived the no-op ingest.
+  const auto hit = *service->AnswerCount(session, pred, 0.05);
+  EXPECT_TRUE(hit.cache_hit) << "empty ingest churned the mask cache";
+  EXPECT_EQ(hit.generation, 0u);
+
+  // Empty but wrong-schema still fails loudly (schema errors are checked
+  // before the empty short-circuit).
+  const Table wrong(Schema({{"other", ValueType::kInt64}}));
+  EXPECT_EQ(service->Ingest(wrong).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------- fault tolerance ---
+
+TEST(QueryServiceAdmissionTest, OverfullBatchIsShedDeterministically) {
+  // max_queued_queries = 2 and a batch of 3: even on an otherwise idle
+  // service the gate must shed the whole batch — every slot
+  // ResourceExhausted, zero ε reserved, zero ledger entries.
+  QueryService::Options opts;
+  opts.max_queued_queries = 2;
+  auto service = *QueryService::Create(TestEngine(10.0), opts);
+  const auto session = service->OpenSession("alice");
+  const double before = service->remaining_budget();
+
+  std::vector<ServiceRequest> batch;
+  for (int q = 0; q < 3; ++q) {
+    batch.emplace_back(CountRequest{Predicate::True(), 0.05});
+  }
+  const auto results = service->AnswerBatch(session, batch);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_EQ(service->remaining_budget(), before);
+  EXPECT_EQ(*service->session_remaining(session), opts.per_session_epsilon);
+  EXPECT_EQ(service->ledger().size(), 0u);
+
+  const auto stats = service->admission_stats();
+  EXPECT_EQ(stats.admitted, 0u);
+  EXPECT_EQ(stats.rejected, 1u);
+
+  // A batch that fits passes the same gate untouched.
+  batch.pop_back();
+  for (const auto& r : service->AnswerBatch(session, batch)) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+  EXPECT_EQ(service->admission_stats().admitted, 1u);
+}
+
+TEST(QueryServiceAdmissionTest, ConcurrentOverloadShedsCleanly) {
+  // Many threads against max_concurrent_batches = 1: some batches shed, the
+  // admitted ones deliver, and afterwards the books close exactly — spent ==
+  // Σ delivered ε, admitted + rejected == submitted, peak respects the cap.
+  ThreadPool pool(2);
+  QueryService::Options opts;
+  opts.pool = &pool;
+  opts.per_session_epsilon = 10.0;
+  opts.max_concurrent_batches = 1;
+  auto service = *QueryService::Create(TestEngine(100.0, 2000), opts);
+  const double total = service->remaining_budget();
+
+  constexpr int kThreads = 6;
+  constexpr int kBatchesPerThread = 5;
+  constexpr double kEps = 0.01;
+  std::atomic<uint64_t> delivered{0};
+  std::atomic<uint64_t> shed{0};
+  std::vector<std::thread> analysts;
+  for (int t = 0; t < kThreads; ++t) {
+    analysts.emplace_back([&, t] {
+      const auto session =
+          service->OpenSession("analyst-" + std::to_string(t));
+      for (int b = 0; b < kBatchesPerThread; ++b) {
+        std::vector<ServiceRequest> batch;
+        batch.emplace_back(CountRequest{
+            Predicate::Le("age", Value(20 + (3 * t + b) % 60)), kEps});
+        const auto results = service->AnswerBatch(session, batch);
+        for (const auto& r : results) {
+          if (r.ok()) {
+            delivered.fetch_add(1);
+          } else {
+            ASSERT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+                << r.status().ToString();
+            shed.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : analysts) t.join();
+
+  EXPECT_NEAR(total - service->remaining_budget(), delivered.load() * kEps,
+              1e-9);
+  EXPECT_EQ(service->ledger().size(), delivered.load());
+  const auto stats = service->admission_stats();
+  EXPECT_EQ(stats.admitted, delivered.load());
+  EXPECT_EQ(stats.rejected, shed.load());
+  EXPECT_EQ(stats.admitted + stats.rejected,
+            static_cast<uint64_t>(kThreads * kBatchesPerThread));
+  EXPECT_LE(stats.peak_inflight, 1u);
+}
+
+TEST(QueryServiceDeadlineTest, PastDeadlineRefusesWithFullRefund) {
+  auto service = *QueryService::Create(TestEngine(10.0), {});
+  const auto session = service->OpenSession("alice");
+  const double before = service->remaining_budget();
+
+  CountRequest late{Predicate::True(), 0.1};
+  late.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  std::vector<ServiceRequest> batch;
+  batch.emplace_back(std::move(late));
+  const auto result = std::move(service->AnswerBatch(session, batch)[0]);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service->remaining_budget(), before);
+  EXPECT_EQ(*service->session_remaining(session),
+            QueryService::Options{}.per_session_epsilon);
+  EXPECT_EQ(service->ledger().size(), 0u);
+
+  // The batch-wide deadline (BatchControl) applies the same way.
+  QueryService::BatchControl control;
+  control.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  std::vector<ServiceRequest> fine;
+  fine.emplace_back(CountRequest{Predicate::True(), 0.1});
+  const auto batch_late =
+      std::move(service->AnswerBatch(session, fine, control)[0]);
+  ASSERT_FALSE(batch_late.ok());
+  EXPECT_EQ(batch_late.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service->remaining_budget(), before);
+}
+
+TEST(QueryServiceCancelTest, PreCancelledTokenRefusesEverySlotWithRefund) {
+  auto service = *QueryService::Create(TestEngine(10.0), {});
+  const auto session = service->OpenSession("alice");
+  const double before = service->remaining_budget();
+
+  CancelToken token;
+  token.Cancel();
+  QueryService::BatchControl control;
+  control.cancel = token;
+  const auto results =
+      service->AnswerBatch(session, TestBatch(), control);
+  for (const auto& r : results) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  }
+  EXPECT_EQ(service->remaining_budget(), before);
+  EXPECT_EQ(service->ledger().size(), 0u);
+
+  // Cancellation is per-batch, not per-session: the same session answers
+  // normally without the token.
+  EXPECT_TRUE(service->AnswerCount(session, Predicate::True(), 0.05).ok());
+}
+
+TEST(QueryServiceCancelTest, MidFlightCancelKeepsTheBooksExact) {
+  // Fire the token from another thread while a large batch is scanning. The
+  // race decides *which* queries deliver, never the invariants: every slot
+  // is ok or Cancelled, spent == Σ delivered ε, one ledger entry per
+  // delivery — and cancellation never alters a delivered answer (checked
+  // against serial replay by seq).
+  ThreadPool pool(2);
+  QueryService::Options opts;
+  opts.pool = &pool;
+  opts.per_session_epsilon = 50.0;
+  auto service = *QueryService::Create(TestEngine(100.0, 30000), opts);
+  const double total = service->remaining_budget();
+  const auto session = service->OpenSession("alice");
+
+  constexpr double kEps = 0.05;
+  std::vector<ServiceRequest> batch;
+  for (int q = 0; q < 12; ++q) {
+    batch.emplace_back(
+        CountRequest{Predicate::Le("age", Value(15 + 6 * q)), kEps});
+  }
+  CancelToken token;
+  QueryService::BatchControl control;
+  control.cancel = token;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::microseconds(400));
+    token.Cancel();
+  });
+  const auto results = service->AnswerBatch(session, batch, control);
+  canceller.join();
+
+  size_t delivered = 0;
+  const SnapshotPtr snap = service->current_snapshot();
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kCancelled)
+          << r.status().ToString();
+      continue;
+    }
+    ++delivered;
+    const auto& request = std::get<CountRequest>(batch[i]);
+    RowMask matching =
+        CompiledPredicate::Compile(request.where, snap->table.schema())
+            ->EvalMask(snap->table);
+    matching.AndWith(snap->non_sensitive);
+    Rng rng(QueryService::QuerySeed(opts.seed, session, r->seq,
+                                    r->generation));
+    EXPECT_EQ(r->count, static_cast<double>(matching.Count()) +
+                            SampleOneSidedLaplace(rng, 1.0 / kEps))
+        << "cancellation altered a delivered answer (slot " << i << ")";
+  }
+  EXPECT_NEAR(total - service->remaining_budget(), delivered * kEps, 1e-9);
+  EXPECT_EQ(service->ledger().size(), delivered);
+}
+
+TEST(QueryServiceTest, CloseSessionDuringInFlightBatch) {
+  // CloseSession while that session's batch is executing: the prepared
+  // queries hold the Session through a shared_ptr, so the in-flight batch keeps
+  // its budget alive — answers deliver normally and the service-side books
+  // still close exactly; only new submissions observe the close.
+  ThreadPool pool(2);
+  QueryService::Options opts;
+  opts.pool = &pool;
+  opts.per_session_epsilon = 10.0;
+  auto service = *QueryService::Create(TestEngine(100.0, 30000), opts);
+  const double total = service->remaining_budget();
+  const auto session = service->OpenSession("alice");
+
+  constexpr double kEps = 0.05;
+  std::vector<ServiceRequest> batch;
+  for (int q = 0; q < 10; ++q) {
+    batch.emplace_back(
+        CountRequest{Predicate::Le("age", Value(18 + 7 * q)), kEps});
+  }
+  std::vector<Result<ServiceAnswer>> results;
+  std::thread analyst(
+      [&] { results = service->AnswerBatch(session, batch); });
+  std::this_thread::sleep_for(std::chrono::microseconds(300));
+  // Lands before, during, or after the batch — all must be safe.
+  EXPECT_TRUE(service->CloseSession(session).ok());
+  analyst.join();
+
+  size_t delivered = 0;
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ++delivered;
+  }
+  EXPECT_EQ(delivered, batch.size());
+  EXPECT_NEAR(total - service->remaining_budget(), delivered * kEps, 1e-9);
+  EXPECT_EQ(service->ledger().size(), delivered);
+
+  // The close did land: new submissions are refused.
+  EXPECT_FALSE(service->session_remaining(session).ok());
+  const auto after = service->AnswerCount(session, Predicate::True(), kEps);
+  EXPECT_EQ(after.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

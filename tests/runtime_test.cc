@@ -8,13 +8,16 @@
 // drawn from every compiled-op kind.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/benchdata/table_gen.h"
+#include "src/common/cancel.h"
 #include "src/common/random.h"
 #include "src/data/compiled_predicate.h"
 #include "src/data/predicate.h"
@@ -83,6 +86,98 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
     }
   });
   EXPECT_EQ(total.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasksBeforeJoining) {
+  // Submit far more (briefly blocking) tasks than workers, then destroy the
+  // pool immediately: every queued task must still run — the destructor
+  // drains the queue rather than dropping it on the floor.
+  constexpr int kTasks = 200;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        ran.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsChunkExceptionAndPoolSurvives) {
+  // A chunk that throws must surface in the *calling* thread as an ordinary
+  // exception — never std::terminate — with the pool fully usable after.
+  // Same contract on the inline pool, where the exception propagates
+  // directly out of the serial loop.
+  for (size_t threads : {size_t{0}, size_t{3}}) {
+    ThreadPool pool(threads);
+    bool caught = false;
+    try {
+      pool.ParallelForBlocked(0, 64, 1, [](size_t lo, size_t) {
+        if (lo == 7) throw std::runtime_error("chunk 7 failed");
+      });
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "chunk 7 failed") << "threads=" << threads;
+    }
+    EXPECT_TRUE(caught) << "threads=" << threads;
+
+    // The barrier completed and the workers survived: the next loop over
+    // the same pool covers its whole range exactly once.
+    std::atomic<size_t> covered{0};
+    pool.ParallelForBlocked(0, 128, 8, [&](size_t lo, size_t hi) {
+      covered.fetch_add(hi - lo);
+    });
+    EXPECT_EQ(covered.load(), 128u) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForInnerExceptionStaysInner) {
+  // An exception in a nested loop's chunk is rethrown at the *inner* call
+  // site (running on a pool worker or the outer caller), where ordinary
+  // try/catch handles it; the outer loop completes normally. Each inner
+  // loop throws deterministically in the chunk covering index 2.
+  ThreadPool pool(2);
+  std::atomic<int> inner_failures{0};
+  std::atomic<int> outer_iterations{0};
+  pool.ParallelForBlocked(0, 4, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      try {
+        pool.ParallelForBlocked(0, 4, 1, [](size_t ilo, size_t) {
+          if (ilo == 2) throw std::runtime_error("inner");
+        });
+      } catch (const std::runtime_error&) {
+        inner_failures.fetch_add(1);
+      }
+      outer_iterations.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(outer_iterations.load(), 4);
+  EXPECT_EQ(inner_failures.load(), 4);
+}
+
+TEST(ParseNumThreadsTest, RejectsUnparsableValuesInsteadOfSilentZero) {
+  constexpr size_t kFallback = 11;
+  // The regression this pins: atoll("garbage") is 0, which silently turned a
+  // typo in OSDP_NUM_THREADS into the serial pool. Unparsable now means the
+  // fallback (hardware concurrency in Default()), not 0.
+  EXPECT_EQ(ParseNumThreads("garbage", kFallback), kFallback);
+  EXPECT_EQ(ParseNumThreads("", kFallback), kFallback);
+  EXPECT_EQ(ParseNumThreads("  ", kFallback), kFallback);
+  EXPECT_EQ(ParseNumThreads("16abc", kFallback), kFallback);
+  EXPECT_EQ(ParseNumThreads("2.5", kFallback), kFallback);
+  EXPECT_EQ(ParseNumThreads("0x4", kFallback), kFallback);
+  EXPECT_EQ(ParseNumThreads("99999999999999999999999", kFallback), kFallback);
+  EXPECT_EQ(ParseNumThreads(nullptr, kFallback), kFallback);
+
+  // Well-formed values parse exactly; negatives clamp to the inline pool.
+  EXPECT_EQ(ParseNumThreads("4", kFallback), 4u);
+  EXPECT_EQ(ParseNumThreads(" 8 ", kFallback), 8u);
+  EXPECT_EQ(ParseNumThreads("0", kFallback), 0u);
+  EXPECT_EQ(ParseNumThreads("-1", kFallback), 0u);
+  EXPECT_EQ(ParseNumThreads("-99", kFallback), 0u);
 }
 
 TEST(WordAlignedShardsTest, EdgesAreAlignedAndCoverEverything) {
@@ -254,6 +349,70 @@ TEST(ParallelScanTest, DefaultPoolAndShardsWork) {
   const CompiledPredicate compiled = *CompiledPredicate::Compile(
       Predicate::Le("age", Value(40)), table.schema());
   EXPECT_TRUE(ParallelEvalMask(compiled, table) == compiled.EvalMask(table));
+}
+
+TEST(ParallelScanTest, CancelledTokenAbortsWithoutPartialResults) {
+  // A fired token aborts the whole scan with AbortedError(kCancelled) at the
+  // next shard boundary — never a partial mask or count — while an inert
+  // control costs nothing and changes nothing.
+  ThreadPool pool(2);
+  const Table table = TableOfSize(1000, 0xC5);
+  const auto compiled = *CompiledPredicate::Compile(
+      Predicate::Le("age", Value(40)), table.schema());
+  const RowMask serial = compiled.EvalMask(table);
+
+  CancelToken token;
+  ExecControl control(token, std::nullopt);
+  ParallelScanOptions opts;
+  opts.pool = &pool;
+  opts.num_shards = 4;
+  opts.control = &control;
+
+  // Not yet cancelled: identical to serial.
+  EXPECT_TRUE(ParallelEvalMask(compiled, table, opts) == serial);
+  EXPECT_EQ(ParallelCount(serial, opts), serial.Count());
+
+  token.Cancel();
+  try {
+    ParallelEvalMask(compiled, table, opts);
+    FAIL() << "cancelled scan must abort";
+  } catch (const AbortedError& aborted) {
+    EXPECT_EQ(aborted.status.code(), StatusCode::kCancelled);
+  }
+  EXPECT_THROW(ParallelCount(serial, opts), AbortedError);
+
+  // The pool survives an aborted scan; detaching the control restores the
+  // uncancellable path.
+  opts.control = nullptr;
+  EXPECT_TRUE(ParallelEvalMask(compiled, table, opts) == serial);
+}
+
+TEST(ParallelScanTest, PassedDeadlineAbortsWithDeadlineExceeded) {
+  ThreadPool pool(2);
+  const Table table = TableOfSize(500, 0xD7);
+  const auto compiled = *CompiledPredicate::Compile(
+      Predicate::Gt("income", Value(10000.0)), table.schema());
+
+  ExecControl control(
+      std::nullopt,
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  ParallelScanOptions opts;
+  opts.pool = &pool;
+  opts.control = &control;
+  try {
+    ParallelEvalMask(compiled, table, opts);
+    FAIL() << "past-deadline scan must abort";
+  } catch (const AbortedError& aborted) {
+    EXPECT_EQ(aborted.status.code(), StatusCode::kDeadlineExceeded);
+  }
+
+  // A comfortably-future deadline never trips, and the result is serial-
+  // identical.
+  ExecControl future(
+      std::nullopt, std::chrono::steady_clock::now() + std::chrono::hours(1));
+  opts.control = &future;
+  EXPECT_TRUE(ParallelEvalMask(compiled, table, opts) ==
+              compiled.EvalMask(table));
 }
 
 TEST(RowMaskTest, ForEachSetInRangeHonorsUnalignedBounds) {
