@@ -5,10 +5,11 @@
 //                 columnar concat + incremental policy classification), no
 //                 snapshot cut — the marginal cost of accepting a batch.
 //   ingest        QueryService::Ingest = append + BuildSnapshot + atomic
-//                 publish. BuildSnapshot copies the accumulated columns, so
-//                 this is O(total rows) per batch by design — the honest
-//                 price of immutable snapshots; the table shows how it
-//                 amortizes with batch size.
+//                 publish. With chunked copy-on-write columns BuildSnapshot
+//                 copies chunk *pointers* plus the O(rows/64) policy-mask
+//                 words — publish cost is flat in the accumulated size, so
+//                 ingest rows/sec should track append rows/sec at every
+//                 batch size (the "publish overhead" column).
 //   mixed         one writer thread ingesting batches while analyst
 //                 sessions stream count queries: ingest rows/sec and
 //                 queries/sec under contention.
@@ -20,11 +21,15 @@
 //     independently rebuilt table;
 //   * every answer recorded during the mixed phase must be bit-identical to
 //     a serial replay of its (generation, session, seq) — the same property
-//     tests/query_service_test.cc pins, exercised here at bench scale.
+//     tests/query_service_test.cc pins, exercised here at bench scale;
+//   * publish overhead (ingest_sec / append_sec) at the smallest batch size
+//     must not exceed OSDP_BENCH_MAX_PUBLISH_OVERHEAD (default 1.5; "0"
+//     disables) — the O(batch)-publish regression gate.
 //
 // Knobs: OSDP_BENCH_MAX_ROWS caps the ingested-row grid (default 1M; the CI
 // smoke run uses 50000), OSDP_BENCH_THREADS the mixed-phase pool size
-// (default 2), OSDP_BENCH_JSON the output path (default BENCH_ingest.json).
+// (default 2), OSDP_BENCH_JSON the output path (default BENCH_ingest.json),
+// OSDP_BENCH_MAX_PUBLISH_OVERHEAD the regression gate above.
 // The JSON records hardware_concurrency so flat concurrency numbers on a
 // starved machine read as what they are.
 
@@ -98,6 +103,7 @@ struct Measurement {
   double sec = 0.0;
   double rows_per_sec = 0.0;
   double queries_per_sec = 0.0;
+  double publish_overhead = 0.0;  // ingest_sec / append_sec (ingest rows)
 };
 
 // Rebuilds the dataset as of `generation` from the deterministic batch
@@ -124,6 +130,10 @@ int main() {
   const size_t mixed_threads =
       threads_env ? static_cast<size_t>(std::atoll(threads_env)) : 2;
 
+  const char* overhead_env = std::getenv("OSDP_BENCH_MAX_PUBLISH_OVERHEAD");
+  const double max_publish_overhead =
+      overhead_env ? std::atof(overhead_env) : 1.5;
+
   std::vector<Measurement> results;
   const Policy policy = BenchPolicy();
 
@@ -134,9 +144,10 @@ int main() {
   // --- append / ingest, by batch size ----------------------------------
   TextTable text({"batch rows", "total rows", "append rows/s",
                   "ingest rows/s", "publish overhead"});
+  bool overhead_checked = false;
   for (size_t batch_rows : {size_t{1000}, size_t{10000}, size_t{100000}}) {
-    // Cap the generation count so the O(total) per-publish copy keeps the
-    // quadratic total cost bounded at small batch sizes.
+    // Cap the generation count so the grid finishes quickly at small batch
+    // sizes (publish itself is O(batch) now, not O(total)).
     const size_t total =
         std::min(max_rows, batch_rows * size_t{100});
     if (batch_rows > total) continue;
@@ -179,15 +190,29 @@ int main() {
                                 0xB000)) {
       return Fail("published snapshot vs rebuild");
     }
+    const double overhead = ingest_sec / append_sec;
     results.push_back({"ingest", batch_rows, batches * batch_rows, batches, 0,
                        ingest_sec,
                        static_cast<double>(batches * batch_rows) / ingest_sec,
-                       0.0});
+                       0.0, overhead});
 
     text.AddRow({std::to_string(batch_rows), std::to_string(total),
                  TextTable::FmtAuto(static_cast<double>(total) / append_sec),
                  TextTable::FmtAuto(static_cast<double>(total) / ingest_sec),
-                 TextTable::Fmt(ingest_sec / append_sec, 1) + "x"});
+                 TextTable::Fmt(overhead, 1) + "x"});
+
+    // The regression gate runs at the smallest (most publish-heavy) batch
+    // size: before chunked columns this row sat at ~8x; O(batch) publish
+    // keeps it near 1x.
+    if (!overhead_checked && max_publish_overhead > 0.0 &&
+        overhead > max_publish_overhead) {
+      std::fprintf(stderr,
+                   "PUBLISH-OVERHEAD REGRESSION: %.2fx at %zu-row batches "
+                   "(limit %.2fx) — snapshot publish is no longer O(batch)\n",
+                   overhead, batch_rows, max_publish_overhead);
+      return 1;
+    }
+    overhead_checked = true;
   }
   std::printf("%s\n", text.ToString().c_str());
 
@@ -322,9 +347,10 @@ int main() {
         f,
         "    {\"op\": \"%s\", \"batch_rows\": %zu, \"total_rows\": %zu, "
         "\"generations\": %zu, \"queries\": %zu, \"sec\": %.6g, "
-        "\"rows_per_sec\": %.6g, \"queries_per_sec\": %.6g}%s\n",
+        "\"rows_per_sec\": %.6g, \"queries_per_sec\": %.6g, "
+        "\"publish_overhead\": %.6g}%s\n",
         m.op.c_str(), m.batch_rows, m.total_rows, m.generations, m.queries,
-        m.sec, m.rows_per_sec, m.queries_per_sec,
+        m.sec, m.rows_per_sec, m.queries_per_sec, m.publish_overhead,
         i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -193,7 +193,7 @@ int main() {
              }));
       record("hist", "reference", TimeBest(reps, [&] {
                Histogram h(age_domain.size());
-               const std::vector<int64_t>& age = table.Int64Column(0);
+               const auto& age = table.Int64Column(0);
                for (size_t r = 0; r < table.num_rows(); ++r) {
                  if (!ns_bools[r]) continue;
                  if (!pred.Eval(table, r)) continue;

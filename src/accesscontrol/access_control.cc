@@ -3,6 +3,7 @@
 #include "src/common/check.h"
 #include "src/data/compiled_predicate.h"
 #include "src/data/row_mask.h"
+#include "src/data/table_view.h"
 
 namespace osdp {
 
@@ -30,14 +31,14 @@ AccessControlResponse AccessControlledDb::Select(
   }
 
   matching.AndNotWith(sensitive_mask_);  // restrict to the authorized view
-  const std::vector<size_t> matching_ns = matching.ToIndices();
+  const TableView authorized = data_.SelectRowsView(std::move(matching));
 
-  if (matching_ns.empty()) {
+  if (authorized.empty()) {
     resp.kind = AccessControlResponse::Kind::kEmpty;
     return resp;
   }
   resp.kind = AccessControlResponse::Kind::kAnswer;
-  resp.rows = data_.SelectRows(matching_ns);
+  resp.rows = authorized.Materialize();
   return resp;
 }
 

@@ -28,6 +28,12 @@ namespace osdp {
 /// Never mutated after publication: the table, the cached non-sensitive
 /// mask, and the generation id all describe the same instant. Shared across
 /// threads freely — all access is const.
+///
+/// Consecutive generations share their tables' chunks (the table copy
+/// inside TableBuilder::BuildSnapshot copies chunk pointers, not cells), so
+/// holding many generations alive costs one table plus a mask per
+/// generation, not one table copy per generation — and cutting a new one is
+/// O(batch), not O(total rows).
 struct Snapshot {
   /// Generation id: 0 for the seed dataset, +1 per ingested batch.
   uint64_t generation = 0;

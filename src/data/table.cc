@@ -1,6 +1,7 @@
 #include "src/data/table.h"
 
 #include "src/common/check.h"
+#include "src/data/table_view.h"
 
 namespace osdp {
 
@@ -9,13 +10,13 @@ Table::Table(Schema schema) : schema_(std::move(schema)) {
   for (const Field& f : schema_.fields()) {
     switch (f.type) {
       case ValueType::kInt64:
-        columns_.emplace_back(std::vector<int64_t>{});
+        columns_.emplace_back(ChunkedColumn<int64_t>{});
         break;
       case ValueType::kDouble:
-        columns_.emplace_back(std::vector<double>{});
+        columns_.emplace_back(ChunkedColumn<double>{});
         break;
       case ValueType::kString:
-        columns_.emplace_back(std::vector<std::string>{});
+        columns_.emplace_back(ChunkedColumn<std::string>{});
         break;
     }
   }
@@ -23,7 +24,7 @@ Table::Table(Schema schema) : schema_(std::move(schema)) {
 
 namespace {
 
-ValueType ColumnType(const Table::ColumnData& column) {
+ValueType FlatColumnType(const Table::ColumnData& column) {
   switch (column.index()) {
     case 0:
       return ValueType::kInt64;
@@ -34,7 +35,7 @@ ValueType ColumnType(const Table::ColumnData& column) {
   }
 }
 
-size_t ColumnLength(const Table::ColumnData& column) {
+size_t FlatColumnLength(const Table::ColumnData& column) {
   return std::visit([](const auto& v) { return v.size(); }, column);
 }
 
@@ -47,24 +48,33 @@ Result<Table> Table::FromColumns(Schema schema,
         "column count " + std::to_string(columns.size()) +
         " != schema arity " + std::to_string(schema.num_fields()));
   }
-  const size_t rows = columns.empty() ? 0 : ColumnLength(columns[0]);
+  const size_t rows = columns.empty() ? 0 : FlatColumnLength(columns[0]);
   for (size_t i = 0; i < columns.size(); ++i) {
-    if (ColumnType(columns[i]) != schema.field(i).type) {
+    if (FlatColumnType(columns[i]) != schema.field(i).type) {
       return Status::InvalidArgument(
           "type mismatch in column '" + schema.field(i).name + "': expected " +
           ValueTypeToString(schema.field(i).type) + ", got " +
-          ValueTypeToString(ColumnType(columns[i])));
+          ValueTypeToString(FlatColumnType(columns[i])));
     }
-    if (ColumnLength(columns[i]) != rows) {
+    if (FlatColumnLength(columns[i]) != rows) {
       return Status::InvalidArgument(
           "column '" + schema.field(i).name + "' has " +
-          std::to_string(ColumnLength(columns[i])) + " rows, expected " +
+          std::to_string(FlatColumnLength(columns[i])) + " rows, expected " +
           std::to_string(rows));
     }
   }
   Table table;
   table.schema_ = std::move(schema);
-  table.columns_ = std::move(columns);
+  table.columns_.reserve(columns.size());
+  for (ColumnData& flat : columns) {
+    std::visit(
+        [&](auto& v) {
+          table.columns_.emplace_back(
+              ChunkedColumn<typename std::decay_t<decltype(v)>::value_type>::
+                  FromFlat(std::move(v)));
+        },
+        flat);
+  }
   table.num_rows_ = rows;
   return table;
 }
@@ -94,17 +104,13 @@ Status Table::AppendRows(const Table& other) {
                                    " to a table of schema " +
                                    schema_.ToString());
   }
-  if (&other == this) {
-    // Self-append: inserting a vector's own range into itself is UB once it
-    // reallocates, so double through a copy.
-    return AppendRows(Table(other));
-  }
+  // ChunkedColumn::Append handles &other == this: chunk-aligned columns
+  // share their own chunks (no cell copies), misaligned ones repack from a
+  // pointer-snapshot of the chunk list.
   for (size_t c = 0; c < columns_.size(); ++c) {
     std::visit(
         [&](auto& dst) {
-          const auto& src =
-              std::get<std::decay_t<decltype(dst)>>(other.columns_[c]);
-          dst.insert(dst.end(), src.begin(), src.end());
+          dst.Append(std::get<std::decay_t<decltype(dst)>>(other.columns_[c]));
         },
         columns_[c]);
   }
@@ -117,13 +123,15 @@ void Table::AppendRowUnchecked(const Row& row) {
   for (size_t i = 0; i < row.size(); ++i) {
     switch (schema_.field(i).type) {
       case ValueType::kInt64:
-        std::get<std::vector<int64_t>>(columns_[i]).push_back(row[i].AsInt64());
+        std::get<ChunkedColumn<int64_t>>(columns_[i])
+            .push_back(row[i].AsInt64());
         break;
       case ValueType::kDouble:
-        std::get<std::vector<double>>(columns_[i]).push_back(row[i].AsDouble());
+        std::get<ChunkedColumn<double>>(columns_[i])
+            .push_back(row[i].AsDouble());
         break;
       case ValueType::kString:
-        std::get<std::vector<std::string>>(columns_[i])
+        std::get<ChunkedColumn<std::string>>(columns_[i])
             .push_back(row[i].AsString());
         break;
     }
@@ -135,11 +143,11 @@ Value Table::GetValue(size_t row, size_t col) const {
   OSDP_CHECK(row < num_rows_ && col < columns_.size());
   switch (schema_.field(col).type) {
     case ValueType::kInt64:
-      return Value(std::get<std::vector<int64_t>>(columns_[col])[row]);
+      return Value(std::get<ChunkedColumn<int64_t>>(columns_[col])[row]);
     case ValueType::kDouble:
-      return Value(std::get<std::vector<double>>(columns_[col])[row]);
+      return Value(std::get<ChunkedColumn<double>>(columns_[col])[row]);
     case ValueType::kString:
-      return Value(std::get<std::vector<std::string>>(columns_[col])[row]);
+      return Value(std::get<ChunkedColumn<std::string>>(columns_[col])[row]);
   }
   return Value();
 }
@@ -151,22 +159,22 @@ Row Table::GetRow(size_t row) const {
   return out;
 }
 
-const std::vector<int64_t>& Table::Int64Column(size_t col) const {
+const ChunkedColumn<int64_t>& Table::Int64Column(size_t col) const {
   OSDP_CHECK(col < columns_.size());
-  return std::get<std::vector<int64_t>>(columns_[col]);
+  return std::get<ChunkedColumn<int64_t>>(columns_[col]);
 }
 
-const std::vector<double>& Table::DoubleColumn(size_t col) const {
+const ChunkedColumn<double>& Table::DoubleColumn(size_t col) const {
   OSDP_CHECK(col < columns_.size());
-  return std::get<std::vector<double>>(columns_[col]);
+  return std::get<ChunkedColumn<double>>(columns_[col]);
 }
 
-const std::vector<std::string>& Table::StringColumn(size_t col) const {
+const ChunkedColumn<std::string>& Table::StringColumn(size_t col) const {
   OSDP_CHECK(col < columns_.size());
-  return std::get<std::vector<std::string>>(columns_[col]);
+  return std::get<ChunkedColumn<std::string>>(columns_[col]);
 }
 
-Result<const std::vector<int64_t>*> Table::Int64ColumnByName(
+Result<const ChunkedColumn<int64_t>*> Table::Int64ColumnByName(
     const std::string& name) const {
   OSDP_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
   if (schema_.field(idx).type != ValueType::kInt64) {
@@ -175,7 +183,7 @@ Result<const std::vector<int64_t>*> Table::Int64ColumnByName(
   return &Int64Column(idx);
 }
 
-Result<const std::vector<double>*> Table::DoubleColumnByName(
+Result<const ChunkedColumn<double>*> Table::DoubleColumnByName(
     const std::string& name) const {
   OSDP_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
   if (schema_.field(idx).type != ValueType::kDouble) {
@@ -184,7 +192,7 @@ Result<const std::vector<double>*> Table::DoubleColumnByName(
   return &DoubleColumn(idx);
 }
 
-Result<const std::vector<std::string>*> Table::StringColumnByName(
+Result<const ChunkedColumn<std::string>*> Table::StringColumnByName(
     const std::string& name) const {
   OSDP_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
   if (schema_.field(idx).type != ValueType::kString) {
@@ -200,9 +208,7 @@ Table Table::SelectRows(const std::vector<size_t>& row_indices) const {
   for (size_t c = 0; c < columns_.size(); ++c) {
     std::visit(
         [&](const auto& src) {
-          auto& dst =
-              std::get<std::decay_t<decltype(src)>>(out.columns_[c]);
-          dst.reserve(row_indices.size());
+          auto& dst = std::get<std::decay_t<decltype(src)>>(out.columns_[c]);
           for (size_t r : row_indices) dst.push_back(src[r]);
         },
         columns_[c]);
@@ -213,19 +219,21 @@ Table Table::SelectRows(const std::vector<size_t>& row_indices) const {
 
 Table Table::SelectRows(const RowMask& mask) const {
   OSDP_CHECK(mask.size() == num_rows_);
-  const std::vector<size_t> indices = mask.ToIndices();
   Table out(schema_);
   for (size_t c = 0; c < columns_.size(); ++c) {
     std::visit(
         [&](const auto& src) {
           auto& dst = std::get<std::decay_t<decltype(src)>>(out.columns_[c]);
-          dst.reserve(indices.size());
-          for (size_t r : indices) dst.push_back(src[r]);
+          mask.ForEachSet([&](size_t r) { dst.push_back(src[r]); });
         },
         columns_[c]);
   }
-  out.num_rows_ = indices.size();
+  out.num_rows_ = mask.Count();
   return out;
+}
+
+TableView Table::SelectRowsView(RowMask mask) const {
+  return TableView(*this, std::move(mask));
 }
 
 }  // namespace osdp

@@ -1,4 +1,11 @@
 // Table: columnar in-memory storage with typed column accessors.
+//
+// Columns are ChunkedColumns (src/data/chunked_column.h): sequences of
+// fixed-size chunks shared by pointer. Copying a Table therefore copies
+// chunk pointers, not cells — the copy-on-write property TableBuilder's
+// O(batch) snapshot publish is built on. Appending to a copy never
+// disturbs the original (full chunks are immutable; a shared tail chunk is
+// privately copied before the first write through the copy).
 
 #ifndef OSDP_DATA_TABLE_H_
 #define OSDP_DATA_TABLE_H_
@@ -10,6 +17,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/data/chunked_column.h"
 #include "src/data/row_mask.h"
 #include "src/data/schema.h"
 #include "src/data/value.h"
@@ -19,13 +27,16 @@ namespace osdp {
 /// A row materialized as dynamic values (construction / debugging API).
 using Row = std::vector<Value>;
 
+class TableView;
+
 /// \brief Columnar table. Rows are appended; columns are read in bulk.
 ///
 /// The policy layer classifies rows by index, and mechanisms select row
 /// subsets, so the table exposes row-index-based access throughout.
 class Table {
  public:
-  /// One column's storage, typed to match its schema field.
+  /// One fully-built column in flat form — the bulk-ingest input format
+  /// (FromColumns chunks it on adoption, moving each cell exactly once).
   using ColumnData = std::variant<std::vector<int64_t>, std::vector<double>,
                                   std::vector<std::string>>;
 
@@ -34,11 +45,12 @@ class Table {
   explicit Table(Schema schema);
 
   /// \brief Bulk columnar ingest: adopts fully-built column vectors without
-  /// copying or boxing a single cell. Errors if the column count differs
-  /// from the schema arity, any column's type mismatches its field, or the
-  /// columns have unequal lengths. This is the fast path for dataset
-  /// generation and CSV loading — construction cost is the moves, so
-  /// ingest is bound by producing the data, not by re-storing it.
+  /// copying or boxing a single cell (cells are moved into chunks). Errors
+  /// if the column count differs from the schema arity, any column's type
+  /// mismatches its field, or the columns have unequal lengths. This is the
+  /// fast path for dataset generation and CSV loading — construction cost
+  /// is the moves, so ingest is bound by producing the data, not by
+  /// re-storing it.
   static Result<Table> FromColumns(Schema schema,
                                    std::vector<ColumnData> columns);
 
@@ -53,9 +65,11 @@ class Table {
   Status AppendRow(const Row& row);
 
   /// \brief Appends every row of `other` (whose schema must equal this
-  /// table's), column-at-a-time — one typed bulk insert per column, no
-  /// Value boxing. This is the streaming-ingest concatenation primitive:
-  /// batch cost is proportional to the batch, not the accumulated table.
+  /// table's), column-at-a-time. This is the streaming-ingest concatenation
+  /// primitive: batch cost is proportional to the batch, not the
+  /// accumulated table. When this table is chunk-aligned — including every
+  /// self-append of a chunk-aligned table — the append shares `other`'s
+  /// chunks instead of copying cells.
   Status AppendRows(const Table& other);
 
   /// Appends a row without validation (hot path; caller guarantees types).
@@ -64,8 +78,19 @@ class Table {
   /// Cell accessor as a dynamic Value (slow path; copies strings).
   Value GetValue(size_t row, size_t col) const;
 
-  /// Borrowed view of a string cell — no copy; aborts on non-string columns.
-  /// Valid until the table is mutated or destroyed.
+  /// \brief Borrowed view of a string cell — no copy; aborts on non-string
+  /// columns.
+  ///
+  /// Lifetime follows per-chunk immutability, not whole-table mutability:
+  /// cells never move within a chunk (chunk storage is reserved up front
+  /// and never reallocates), so the view stays valid until the last Table
+  /// or Snapshot sharing the cell's chunk is destroyed. In particular,
+  /// views into *sealed* chunks — rows below
+  /// `num_rows() & ~(kChunkRows - 1)` — survive any number of subsequent
+  /// appends to this table. Views into the partial tail chunk should be
+  /// treated as invalidated by mutation: an append through a non-owning
+  /// copy replaces the tail chunk (copy-on-write), dropping the chunk the
+  /// view points into once no other holder remains.
   std::string_view StringViewAt(size_t row, size_t col) const {
     return StringColumn(col)[row];
   }
@@ -75,17 +100,17 @@ class Table {
 
   /// \name Typed column views (abort on type mismatch).
   /// @{
-  const std::vector<int64_t>& Int64Column(size_t col) const;
-  const std::vector<double>& DoubleColumn(size_t col) const;
-  const std::vector<std::string>& StringColumn(size_t col) const;
+  const ChunkedColumn<int64_t>& Int64Column(size_t col) const;
+  const ChunkedColumn<double>& DoubleColumn(size_t col) const;
+  const ChunkedColumn<std::string>& StringColumn(size_t col) const;
   /// @}
 
   /// Typed column views by name.
-  Result<const std::vector<int64_t>*> Int64ColumnByName(
+  Result<const ChunkedColumn<int64_t>*> Int64ColumnByName(
       const std::string& name) const;
-  Result<const std::vector<double>*> DoubleColumnByName(
+  Result<const ChunkedColumn<double>*> DoubleColumnByName(
       const std::string& name) const;
-  Result<const std::vector<std::string>*> StringColumnByName(
+  Result<const ChunkedColumn<std::string>*> StringColumnByName(
       const std::string& name) const;
 
   /// Returns a new table containing exactly the rows whose indices are given
@@ -93,13 +118,23 @@ class Table {
   Table SelectRows(const std::vector<size_t>& row_indices) const;
 
   /// Selection push-down from a RowMask (which must cover num_rows()): the
-  /// set rows, in ascending order, gathered column-at-a-time via ToIndices.
-  /// Skips the per-index validation of the vector overload — the mask's
-  /// size is the bounds proof.
+  /// set rows, in ascending order, gathered column-at-a-time. Skips the
+  /// per-index validation of the vector overload — the mask's size is the
+  /// bounds proof. Materializes the selected cells; for the zero-copy
+  /// alternative see SelectRowsView.
   Table SelectRows(const RowMask& mask) const;
 
+  /// \brief Zero-copy selection: a TableView over this table's rows whose
+  /// mask bit is set (src/data/table_view.h). No cell is touched — the view
+  /// is the mask plus a borrow of this table, so mechanisms and histogram
+  /// evaluators can consume a selection without materializing it. The view
+  /// borrows this table and must not outlive it (build the view from a
+  /// SnapshotPtr to pin a generation instead).
+  TableView SelectRowsView(RowMask mask) const;
+
  private:
-  using Column = ColumnData;
+  using Column = std::variant<ChunkedColumn<int64_t>, ChunkedColumn<double>,
+                              ChunkedColumn<std::string>>;
 
   Schema schema_;
   std::vector<Column> columns_;

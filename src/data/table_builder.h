@@ -33,8 +33,13 @@ using RowBatch = Table;
 /// evaluates it over just the new rows (CompiledPredicate::EvalRangeInto
 /// from the last word boundary), so ingest cost is proportional to the batch,
 /// not the accumulated table. BuildSnapshot copies the accumulated columns —
-/// that copy is the immutability boundary that lets readers keep scanning an
-/// old generation while the builder grows.
+/// under chunked storage that is a chunk-*pointer* copy, O(#chunks) not
+/// O(rows), so publish cost is flat in the accumulated size (the mask copy,
+/// O(rows/64) words, dominates asymptotically). Consecutive generations
+/// share every chunk; immutability of what readers see is guaranteed by the
+/// single-writer tail discipline (src/data/chunked_column.h): the builder
+/// keeps appending in place, but only past every published generation's
+/// recorded row count.
 class TableBuilder {
  public:
   /// Seeds the builder with `seed` (which becomes the generation-0 contents)
@@ -43,10 +48,12 @@ class TableBuilder {
   static Result<TableBuilder> Create(Table seed, const Policy& policy);
 
   /// Seeds the builder from an already-classified snapshot: adopts the
-  /// snapshot's mask (flipped back to sensitive-side) instead of re-scanning
-  /// the seed rows — the startup path for a service whose engine already
-  /// cut generation 0. `policy` must be the policy that produced the
-  /// snapshot's mask; only the predicate is (re)compiled, no rows are read.
+  /// snapshot's table *chunks* (pointer copies, no cell is read or copied —
+  /// tests/snapshot_test.cc pins this by chunk identity) and its mask
+  /// (flipped back to sensitive-side) instead of re-scanning the seed rows —
+  /// the startup path for a service whose engine already cut generation 0.
+  /// `policy` must be the policy that produced the snapshot's mask; only the
+  /// predicate is (re)compiled.
   static Result<TableBuilder> FromSnapshot(const Snapshot& snapshot,
                                            const Policy& policy);
 
@@ -62,7 +69,10 @@ class TableBuilder {
   /// `generation`. The snapshot's non-sensitive mask is the complement of
   /// the incrementally-maintained sensitive mask — bit-identical to a full
   /// Policy::NonSensitiveRowMask recompute over the same rows (pinned by
-  /// tests/snapshot_test.cc).
+  /// tests/snapshot_test.cc). The table copy shares every chunk with the
+  /// builder (and with every other generation) — publish is O(#chunks)
+  /// pointer copies plus the O(rows/64) mask words, independent of how many
+  /// rows have accumulated.
   SnapshotPtr BuildSnapshot(uint64_t generation) const;
 
  private:

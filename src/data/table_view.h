@@ -1,0 +1,120 @@
+// TableView: a zero-copy row selection over a Table — the table (or a
+// pinned Snapshot generation), a base-row offset, and a RowMask, with no
+// cell materialization.
+//
+// SelectRows copies every selected cell into a fresh table; a TableView is
+// just the selection itself. Mechanisms that only *iterate* the selected
+// rows (randomized-response release, masked histograms) consume the view
+// directly and never pay the gather; callers that genuinely need an owned
+// table call Materialize(), which is exactly SelectRows. Because chunks are
+// immutable once sealed and a snapshot pins its chunks, a view built from a
+// SnapshotPtr stays valid while the view is alive no matter how many newer
+// generations are published.
+
+#ifndef OSDP_DATA_TABLE_VIEW_H_
+#define OSDP_DATA_TABLE_VIEW_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/data/row_mask.h"
+#include "src/data/snapshot.h"
+#include "src/data/table.h"
+
+namespace osdp {
+
+/// \brief An immutable selection of rows of one table: base rows
+/// [row_offset, row_offset + mask.size()) filtered by the mask's set bits.
+///
+/// The offset lets a view denote a sub-range of a large table (for
+/// example, the rows one generation appended) with a mask sized to the
+/// range instead of the whole table. Cheap to copy (mask words + two
+/// pointers); all access is const and thread-safe.
+class TableView {
+ public:
+  /// Borrowing view: `table` must outlive the view. `mask` bit i selects
+  /// base row `row_offset + i`; `row_offset + mask.size()` must not exceed
+  /// the table's rows.
+  TableView(const Table& table, RowMask mask, size_t row_offset = 0)
+      : table_(&table),
+        row_offset_(row_offset),
+        mask_(std::move(mask)),
+        selected_(mask_.Count()) {
+    OSDP_CHECK(row_offset_ + mask_.size() <= table_->num_rows());
+  }
+
+  /// Pinning view over a snapshot generation: the snapshot (and through it
+  /// every chunk of its table) stays alive as long as the view does.
+  TableView(SnapshotPtr snapshot, RowMask mask, size_t row_offset = 0)
+      : snapshot_(std::move(snapshot)),
+        table_(&snapshot_->table),
+        row_offset_(row_offset),
+        mask_(std::move(mask)),
+        selected_(mask_.Count()) {
+    OSDP_CHECK(row_offset_ + mask_.size() <= table_->num_rows());
+  }
+
+  /// The underlying table (never null).
+  const Table& table() const { return *table_; }
+  /// The pinned snapshot, or nullptr for a borrowing view.
+  const SnapshotPtr& snapshot() const { return snapshot_; }
+  /// Number of selected rows.
+  size_t num_rows() const { return selected_; }
+  /// True iff no row is selected.
+  bool empty() const { return selected_ == 0; }
+  /// First base row the mask covers.
+  size_t row_offset() const { return row_offset_; }
+  /// The selection mask (bit i = base row row_offset() + i).
+  const RowMask& mask() const { return mask_; }
+
+  /// Calls fn(base_row) for every selected row, in ascending base-row
+  /// order. Cost is proportional to the number of selected rows.
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    if (row_offset_ == 0) {
+      mask_.ForEachSet(fn);
+    } else {
+      mask_.ForEachSet([&](size_t i) { fn(row_offset_ + i); });
+    }
+  }
+
+  /// The selected base rows as an ascending index vector.
+  std::vector<size_t> ToIndices() const {
+    std::vector<size_t> out;
+    out.reserve(selected_);
+    ForEachRow([&](size_t row) { out.push_back(row); });
+    return out;
+  }
+
+  /// The selection as a mask over the *whole* table (offset folded in) —
+  /// the bridge into whole-table mask consumers (masked histograms, mask
+  /// algebra). O(table rows / 64), still no cell access.
+  RowMask BaseMask() const {
+    if (row_offset_ == 0 && mask_.size() == table_->num_rows()) return mask_;
+    RowMask out(table_->num_rows());
+    ForEachRow([&](size_t row) { out.Set(row); });
+    return out;
+  }
+
+  /// Materializes the selection as an owned Table (the SelectRows gather —
+  /// the one place a view pays the copy).
+  Table Materialize() const {
+    if (row_offset_ == 0 && mask_.size() == table_->num_rows()) {
+      return table_->SelectRows(mask_);
+    }
+    return table_->SelectRows(ToIndices());
+  }
+
+ private:
+  SnapshotPtr snapshot_;  // null for borrowing views
+  const Table* table_;
+  size_t row_offset_;
+  RowMask mask_;
+  size_t selected_;
+};
+
+}  // namespace osdp
+
+#endif  // OSDP_DATA_TABLE_VIEW_H_

@@ -2,6 +2,7 @@
 
 #include "src/common/check.h"
 #include "src/data/compiled_predicate.h"
+#include "src/data/table_view.h"
 
 namespace osdp {
 
@@ -10,18 +11,18 @@ namespace {
 // Typed, pre-resolved binning closure for one column: the per-row type
 // dispatch and name resolution of the old BinOfRow, hoisted out of the scan.
 struct Binner {
-  const int64_t* i64 = nullptr;  // exactly one of i64/dbl is set
-  const double* dbl = nullptr;
+  const ChunkedColumn<int64_t>* i64 = nullptr;  // exactly one of i64/dbl set
+  const ChunkedColumn<double>* dbl = nullptr;
   const Domain1D* domain = nullptr;
   bool categorical = false;
 
   size_t Bin(size_t row) const {
     if (i64 != nullptr) {
-      const int64_t v = i64[row];
+      const int64_t v = (*i64)[row];
       return categorical ? domain->BinOfCategory(v)
                          : domain->BinOf(static_cast<double>(v));
     }
-    return domain->BinOf(dbl[row]);
+    return domain->BinOf((*dbl)[row]);
   }
 };
 
@@ -33,14 +34,14 @@ Result<Binner> MakeBinner(const Table& table, size_t col_idx,
   b.categorical = domain.is_categorical();
   switch (field.type) {
     case ValueType::kInt64:
-      b.i64 = table.Int64Column(col_idx).data();
+      b.i64 = &table.Int64Column(col_idx);
       return b;
     case ValueType::kDouble:
       if (domain.is_categorical()) {
         return Status::InvalidArgument(
             "categorical domain over double column '" + field.name + "'");
       }
-      b.dbl = table.DoubleColumn(col_idx).data();
+      b.dbl = &table.DoubleColumn(col_idx);
       return b;
     case ValueType::kString:
       return Status::InvalidArgument("cannot bin string column '" + field.name +
@@ -86,20 +87,33 @@ void PreparedHistogramQuery::AccumulateRange(const RowMask& mask,
                                              Histogram* out) const {
   OSDP_CHECK(out->size() == domain_.size());
   std::vector<double>& counts = out->counts();
+  // Walk the grouped column chunk-span by chunk-span so the inner loop
+  // indexes a contiguous typed array; the mask drives which rows bin.
+  // Accumulation order stays ascending-row, so the counts are identical to
+  // a flat whole-range loop.
   if (i64_ != nullptr) {
     if (categorical_) {
-      mask.ForEachSetInRange(row_begin, row_end, [&](size_t row) {
-        counts[domain_.BinOfCategory(i64_[row])] += 1.0;
-      });
+      i64_->ForEachSpan(
+          row_begin, row_end, [&](const int64_t* data, size_t gb, size_t len) {
+            mask.ForEachSetInRange(gb, gb + len, [&](size_t row) {
+              counts[domain_.BinOfCategory(data[row - gb])] += 1.0;
+            });
+          });
     } else {
-      mask.ForEachSetInRange(row_begin, row_end, [&](size_t row) {
-        counts[domain_.BinOf(static_cast<double>(i64_[row]))] += 1.0;
-      });
+      i64_->ForEachSpan(
+          row_begin, row_end, [&](const int64_t* data, size_t gb, size_t len) {
+            mask.ForEachSetInRange(gb, gb + len, [&](size_t row) {
+              counts[domain_.BinOf(static_cast<double>(data[row - gb]))] += 1.0;
+            });
+          });
     }
   } else {
-    mask.ForEachSetInRange(row_begin, row_end, [&](size_t row) {
-      counts[domain_.BinOf(dbl_[row])] += 1.0;
-    });
+    dbl_->ForEachSpan(
+        row_begin, row_end, [&](const double* data, size_t gb, size_t len) {
+          mask.ForEachSetInRange(gb, gb + len, [&](size_t row) {
+            counts[domain_.BinOf(data[row - gb])] += 1.0;
+          });
+        });
   }
 }
 
@@ -127,6 +141,11 @@ Result<Histogram> ComputeHistogramMasked(const Table& table,
     prepared.AccumulateRange(mask, 0, table.num_rows(), &out);
   }
   return out;
+}
+
+Result<Histogram> ComputeHistogram(const TableView& view,
+                                   const HistogramQuery& query) {
+  return ComputeHistogramMasked(view.table(), query, view.BaseMask());
 }
 
 Result<Histogram> ComputeHistogramMasked(const Table& table,

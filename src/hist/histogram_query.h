@@ -66,16 +66,27 @@ class PreparedHistogramQuery {
  private:
   PreparedHistogramQuery(Domain1D domain) : domain_(std::move(domain)) {}
 
-  // Exactly one of i64_/dbl_ is set (the grouped column's typed storage).
-  const int64_t* i64_ = nullptr;
-  const double* dbl_ = nullptr;
+  // Exactly one of i64_/dbl_ is set (the grouped column's chunked storage;
+  // AccumulateRange walks it span-by-span).
+  const ChunkedColumn<int64_t>* i64_ = nullptr;
+  const ChunkedColumn<double>* dbl_ = nullptr;
   bool categorical_ = false;
   Domain1D domain_;
   std::shared_ptr<const CompiledPredicate> where_;
 };
 
+class TableView;
+
 /// Evaluates a 1-D histogram query over all rows of `table`.
 Result<Histogram> ComputeHistogram(const Table& table,
+                                   const HistogramQuery& query);
+
+/// Evaluates the query over the rows a TableView selects — the zero-copy
+/// bridge from Table::SelectRowsView: equivalent to materializing the view
+/// and histogramming the result, without copying a cell. Bit-for-bit the
+/// same counts as ComputeHistogramMasked(view.table(), query,
+/// view.BaseMask()).
+Result<Histogram> ComputeHistogram(const TableView& view,
                                    const HistogramQuery& query);
 
 /// Evaluates the query over only the rows whose mask bit is set. `mask` must

@@ -28,9 +28,18 @@ Result<std::vector<size_t>> OsdpRRSelect(const Table& table,
 
 Result<Table> OsdpRRRelease(const Table& table, const Policy& policy,
                             double epsilon, Rng& rng) {
+  OSDP_ASSIGN_OR_RETURN(TableView view,
+                        OsdpRRReleaseView(table, policy, epsilon, rng));
+  return view.Materialize();
+}
+
+Result<TableView> OsdpRRReleaseView(const Table& table, const Policy& policy,
+                                    double epsilon, Rng& rng) {
   OSDP_ASSIGN_OR_RETURN(std::vector<size_t> rows,
                         OsdpRRSelect(table, policy, epsilon, rng));
-  return table.SelectRows(rows);
+  RowMask mask(table.num_rows());
+  for (size_t r : rows) mask.Set(r);
+  return table.SelectRowsView(std::move(mask));
 }
 
 Result<Histogram> OsdpRRHistogram(const Histogram& xns, double epsilon,

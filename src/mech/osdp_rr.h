@@ -11,6 +11,7 @@
 #include "src/common/random.h"
 #include "src/common/result.h"
 #include "src/data/table.h"
+#include "src/data/table_view.h"
 #include "src/hist/histogram.h"
 #include "src/mech/guarantee.h"
 #include "src/policy/generic_policy.h"
@@ -33,6 +34,13 @@ Result<std::vector<size_t>> OsdpRRSelect(const Table& table,
 /// Runs OsdpRR and materializes the released rows as a new table.
 Result<Table> OsdpRRRelease(const Table& table, const Policy& policy,
                             double epsilon, Rng& rng);
+
+/// \brief Zero-copy OsdpRR: the released sample as a TableView over
+/// `table` — same coin sequence and selected rows as OsdpRRRelease, but no
+/// cell is copied. The view borrows `table` and must not outlive it.
+/// OsdpRRRelease is exactly this view materialized.
+Result<TableView> OsdpRRReleaseView(const Table& table, const Policy& policy,
+                                    double epsilon, Rng& rng);
 
 /// \brief Generic OsdpRR over arbitrary record types (e.g. trajectories):
 /// returns indices into `records` of the released sample.

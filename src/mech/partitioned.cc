@@ -15,7 +15,7 @@ Result<PartitionedRelease> PartitionedHistogramRelease(
   if (opts.epsilon_per_partition <= 0.0) {
     return Status::InvalidArgument("epsilon_per_partition must be positive");
   }
-  OSDP_ASSIGN_OR_RETURN(const std::vector<int64_t>* keys,
+  OSDP_ASSIGN_OR_RETURN(const ChunkedColumn<int64_t>* keys,
                         table.Int64ColumnByName(opts.partition_column));
   for (int64_t k : *keys) {
     if (k < 0 || static_cast<size_t>(k) >= opts.num_partitions) {

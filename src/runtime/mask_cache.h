@@ -21,7 +21,11 @@
 //   * Values are shared_ptr<const RowMask> — immutable, like the snapshots
 //     they derive from. Ingest never invalidates in place: a new generation
 //     simply keys new entries, and entries of superseded generations age out
-//     through the LRU as traffic moves on.
+//     through the LRU as traffic moves on. Chunked copy-on-write storage
+//     keeps this sound: generations share chunks, but a generation's rows
+//     are immutable for as long as any pin holds it, so a cached mask for
+//     (pred, g) stays a faithful scan of generation g however many later
+//     generations extend the shared chunks.
 //
 // Concurrency: a sharded-lock LRU with a byte budget. Lookups and inserts
 // take one shard mutex; compute runs outside any lock, so two racing misses

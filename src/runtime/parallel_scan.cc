@@ -23,15 +23,17 @@ void PollAbort(const ParallelScanOptions& opts) {
   if (opts.control != nullptr) opts.control->ThrowIfAborted();
 }
 
-// Runs fn(shard_index, row_begin, row_end) over word-aligned shards of
-// [0, num_rows). The shard edges are deterministic, so per-shard outputs
-// indexed by shard_index merge deterministically regardless of scheduling.
+// Runs fn(shard_index, row_begin, row_end) over shards of [0, num_rows)
+// whose interior edges are multiples of `alignment` (a multiple of 64, so
+// shards always own whole mask words). The shard edges are deterministic,
+// so per-shard outputs indexed by shard_index merge deterministically
+// regardless of scheduling.
 template <typename Fn>
 void ForEachShard(size_t num_rows, const ParallelScanOptions& opts,
-                  const Fn& fn) {
+                  size_t alignment, const Fn& fn) {
   ThreadPool& pool = PoolOf(opts);
   const std::vector<size_t> edges =
-      WordAlignedShards(num_rows, ShardsOf(opts, pool));
+      AlignedShards(num_rows, ShardsOf(opts, pool), alignment);
   const size_t shards = edges.size() - 1;
   pool.ParallelForBlocked(0, shards, 1, [&](size_t lo, size_t hi) {
     for (size_t s = lo; s < hi; ++s) {
@@ -46,7 +48,10 @@ void ForEachShard(size_t num_rows, const ParallelScanOptions& opts,
 RowMask ParallelEvalMask(const CompiledPredicate& pred, const Table& table,
                          const ParallelScanOptions& opts) {
   RowMask out(table.num_rows());
-  ForEachShard(table.num_rows(), opts,
+  // Chunk-aligned shards: a shard's typed inner loops never straddle a
+  // chunk edge, so each shard is one ForEachSpan span per chunk it owns.
+  // Still 64-aligned, so bit-identity to the serial scan is untouched.
+  ForEachShard(table.num_rows(), opts, kChunkRows,
                [&](size_t /*shard*/, size_t begin, size_t end) {
                  pred.EvalRangeInto(table, begin, end, &out);
                });
@@ -86,7 +91,7 @@ void ParallelCombine(RowMask* mask, const RowMask& other, CombineOp op,
   OSDP_CHECK(mask->size() == other.size());
   uint64_t* dst = mask->mutable_words();
   const uint64_t* src = other.words();
-  ForEachShard(mask->size(), opts,
+  ForEachShard(mask->size(), opts, /*alignment=*/64,
                [&](size_t /*shard*/, size_t begin, size_t end) {
                  const size_t wlo = begin >> 6;
                  const size_t whi = (end + 63) >> 6;
@@ -125,8 +130,11 @@ Histogram ParallelAccumulateHistogram(const PreparedHistogramQuery& prepared,
                                       const RowMask& selected,
                                       const ParallelScanOptions& opts) {
   ThreadPool& pool = PoolOf(opts);
+  // Chunk-aligned like ParallelEvalMask: shard accumulation loops stay
+  // within chunk spans. Merge order is shard order either way, so counts
+  // are unchanged.
   const std::vector<size_t> edges =
-      WordAlignedShards(selected.size(), ShardsOf(opts, pool));
+      AlignedShards(selected.size(), ShardsOf(opts, pool), kChunkRows);
   const size_t shards = edges.size() - 1;
   std::vector<Histogram> partial(shards, Histogram(prepared.num_bins()));
   pool.ParallelForBlocked(0, shards, 1, [&](size_t lo, size_t hi) {

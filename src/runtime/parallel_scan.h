@@ -6,10 +6,13 @@
 // shard count — the contract tests/runtime_test.cc pins with randomized
 // property tests. The alignment discipline makes that cheap to guarantee:
 //
-//   * Shard boundaries are multiples of 64 (WordAlignedShards), so each
+//   * Shard boundaries are multiples of 64 (AlignedShards), so each
 //     shard owns whole words of every mask involved. Producers write
 //     disjoint words, combiners rewrite disjoint words in place — no locks,
-//     no read-modify-write sharing, no tail-bit coordination.
+//     no read-modify-write sharing, no tail-bit coordination. Table-touching
+//     scans (predicate evaluation, histogram accumulation) align shard edges
+//     to kChunkRows — a multiple of 64, so the same disjoint-word argument
+//     holds — and a shard's typed inner loops then never straddle a chunk.
 //   * Per-word bit packing inside a shard is the same computation the serial
 //     scan performs for those words (CompiledPredicate::EvalRangeInto).
 //   * Histogram counts are integer-valued doubles; per-shard partial counts

@@ -15,7 +15,11 @@
 //   * Ingest(RowBatch) appends rows as the next *generation*: the policy
 //     mask is extended incrementally over just the new rows, a complete
 //     immutable Snapshot (table + mask + generation id) is built, and it is
-//     published by atomic pointer swap (src/data/snapshot_store.h).
+//     published by atomic pointer swap (src/data/snapshot_store.h). The
+//     snapshot's table shares all chunks with the builder's (chunked
+//     copy-on-write columns, src/data/chunked_column.h), so an Ingest costs
+//     O(batch) in cell work regardless of how many rows have accumulated —
+//     publish itself is chunk-pointer and mask-word copies only.
 //   * Every AnswerBatch captures the current snapshot once, at submission,
 //     and answers the whole batch against it — a query submitted before a
 //     swap never observes rows or mask bits from a later generation, and a

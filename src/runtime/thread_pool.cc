@@ -160,11 +160,15 @@ void ThreadPool::ParallelForBlocked(
   // Every chunk is accounted for; helpers that wake later find the counter
   // exhausted and never touch fn. Surface the first chunk failure here, in
   // the calling thread — the only thread with a caller to surface it to.
-  if (state->error != nullptr) {
-    std::exception_ptr error = state->error;
-    lock.unlock();
-    std::rethrow_exception(error);
-  }
+  // Ownership of the exception moves out of the shared state (leaving
+  // state->error null) so the final release of the exception object always
+  // happens on a thread mutex-ordered after the throw: exception_ptr
+  // refcounting lives in uninstrumented libstdc++, so a last release inside
+  // a helper's lambda destructor is invisible to TSan and reports as a race
+  // on the exception object's free.
+  std::exception_ptr error = std::move(state->error);
+  lock.unlock();
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 size_t ParseNumThreads(const char* value, size_t fallback) {
@@ -191,16 +195,19 @@ ThreadPool& ThreadPool::Default() {
   return *pool;
 }
 
-std::vector<size_t> WordAlignedShards(size_t num_rows, size_t num_shards) {
+std::vector<size_t> AlignedShards(size_t num_rows, size_t num_shards,
+                                  size_t alignment) {
   if (num_shards == 0) num_shards = 1;
-  const size_t words = (num_rows + 63) / 64;
-  const size_t shards = std::min(num_shards, words == 0 ? 1 : words);
-  const size_t words_per_shard = words == 0 ? 0 : (words + shards - 1) / shards;
+  if (alignment == 0) alignment = 1;
+  const size_t blocks = (num_rows + alignment - 1) / alignment;
+  const size_t shards = std::min(num_shards, blocks == 0 ? 1 : blocks);
+  const size_t blocks_per_shard =
+      blocks == 0 ? 0 : (blocks + shards - 1) / shards;
   std::vector<size_t> edges;
   edges.reserve(shards + 1);
   edges.push_back(0);
   for (size_t s = 1; s < shards; ++s) {
-    const size_t edge = s * words_per_shard * 64;
+    const size_t edge = s * blocks_per_shard * alignment;
     // The ceil-divided width can overshoot; emit fewer shards rather than an
     // unaligned (or duplicate) interior edge.
     if (edge >= num_rows) break;
@@ -208,6 +215,10 @@ std::vector<size_t> WordAlignedShards(size_t num_rows, size_t num_shards) {
   }
   edges.push_back(num_rows);
   return edges;
+}
+
+std::vector<size_t> WordAlignedShards(size_t num_rows, size_t num_shards) {
+  return AlignedShards(num_rows, num_shards, 64);
 }
 
 }  // namespace osdp

@@ -105,14 +105,25 @@ class ThreadPool {
 /// becoming 0: a typo in the env var must not quietly serialize the service.
 size_t ParseNumThreads(const char* value, size_t fallback);
 
-/// \brief Word-aligned shard boundaries for row-range sharding.
+/// \brief Shard boundaries for row-range sharding at a given alignment.
 ///
 /// Splits `num_rows` rows into at most `num_shards` contiguous ranges whose
-/// boundaries are multiples of 64 (so each shard owns whole 64-bit words of
-/// any RowMask over those rows and shards never share a word). Returns the
-/// shard edges: shard i covers [edges[i], edges[i+1]). Fewer shards than
-/// requested are returned when there are not enough words to go around;
-/// an empty row range yields a single empty shard.
+/// interior boundaries are multiples of `alignment` (a power of two).
+/// Returns the shard edges: shard i covers [edges[i], edges[i+1]). Fewer
+/// shards than requested are returned when there are not enough
+/// alignment-sized blocks to go around; an empty row range yields a single
+/// empty shard.
+///
+/// Mask-word sharding uses alignment 64 (each shard owns whole 64-bit
+/// RowMask words — see WordAlignedShards); table scans use
+/// kChunkRows so every interior shard edge is also a chunk edge and a
+/// shard's typed inner loops never straddle two chunks. Any alignment that
+/// is a multiple of 64 preserves the disjoint-words property, so the
+/// sharded scan stays bit-identical to serial either way.
+std::vector<size_t> AlignedShards(size_t num_rows, size_t num_shards,
+                                  size_t alignment);
+
+/// AlignedShards at the RowMask word size (64 rows).
 std::vector<size_t> WordAlignedShards(size_t num_rows, size_t num_shards);
 
 }  // namespace osdp

@@ -1,0 +1,521 @@
+// Tests for the chunked copy-on-write column layer (src/data/
+// chunked_column.h) and everything that rides on it: chunk sharing across
+// copies / appends / snapshot generations, the randomized property suite
+// pinning the chunk-spanning scan paths bit-identical to their flat
+// references at chunk-edge sizes and across shard counts, the per-chunk
+// string_view lifetime contract, and the zero-copy TableView consumers.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+
+#include "src/data/chunked_column.h"
+#include "src/data/compiled_predicate.h"
+#include "src/data/predicate.h"
+#include "src/data/row_mask.h"
+#include "src/data/schema.h"
+#include "src/data/snapshot.h"
+#include "src/data/table.h"
+#include "src/data/table_builder.h"
+#include "src/data/table_view.h"
+#include "src/hist/histogram_query.h"
+#include "src/mech/osdp_rr.h"
+#include "src/policy/policy.h"
+#include "src/runtime/parallel_scan.h"
+#include "src/runtime/thread_pool.h"
+
+namespace osdp {
+namespace {
+
+// The chunk-edge sizes the whole suite sweeps: one row short of a chunk, an
+// exactly-full chunk, one row past it, and a multi-chunk size with a ragged
+// tail that is not word-aligned either.
+const std::vector<size_t>& EdgeSizes() {
+  static const std::vector<size_t> kSizes = {
+      kChunkRows - 1, kChunkRows, kChunkRows + 1, 3 * kChunkRows + 17};
+  return kSizes;
+}
+
+const std::vector<size_t>& ShardCounts() {
+  static const std::vector<size_t> kShards = {1, 2, 7, 64};
+  return kShards;
+}
+
+Schema TestSchema() {
+  return Schema({{"age", ValueType::kInt64},
+                 {"income", ValueType::kDouble},
+                 {"race", ValueType::kString}});
+}
+
+const std::vector<std::string>& StringPool() {
+  static const std::vector<std::string> kPool = {"",   "a", "ab",
+                                                 "ba", "c", "zzz"};
+  return kPool;
+}
+
+// Bulk-builds a random table of exactly `rows` rows (FromColumns, so the
+// cells land in freshly-cut chunks the same way ingest produces them).
+Table RandomTable(size_t rows, Rng& rng) {
+  std::vector<int64_t> age(rows);
+  std::vector<double> income(rows);
+  std::vector<std::string> race(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    age[r] = static_cast<int64_t>(rng.NextBounded(100));
+    income[r] = static_cast<double>(rng.NextBounded(1000)) * 0.25;
+    race[r] = StringPool()[rng.NextBounded(StringPool().size())];
+  }
+  Result<Table> t = Table::FromColumns(
+      TestSchema(), {std::move(age), std::move(income), std::move(race)});
+  OSDP_CHECK(t.ok());
+  return *std::move(t);
+}
+
+Predicate TestPredicate() {
+  return Predicate::Or(
+      Predicate::And(Predicate::Lt("age", Value(37)),
+                     Predicate::Ge("income", Value(30.25))),
+      Predicate::In("race", {Value("ab"), Value("zzz")}));
+}
+
+// ---------------------------------------------------------- ChunkedColumn ---
+
+TEST(ChunkedColumnTest, FromFlatRoundTripsAcrossEdgeSizes) {
+  for (size_t n : {size_t{0}, size_t{1}, size_t{63}, size_t{64}, kChunkRows - 1,
+                   kChunkRows, kChunkRows + 1, 3 * kChunkRows + 17}) {
+    std::vector<int64_t> flat(n);
+    for (size_t i = 0; i < n; ++i) flat[i] = static_cast<int64_t>(i * 3 + 1);
+    const ChunkedColumn<int64_t> col = ChunkedColumn<int64_t>::FromFlat(flat);
+    ASSERT_EQ(col.size(), n);
+    ASSERT_EQ(col.num_chunks(), (n + kChunkRows - 1) / kChunkRows);
+    ASSERT_TRUE(col == flat) << "n=" << n;
+    ASSERT_EQ(col.ToVector(), flat) << "n=" << n;
+    size_t it_count = 0;
+    for (int64_t v : col) {
+      ASSERT_EQ(v, flat[it_count]);
+      ++it_count;
+    }
+    ASSERT_EQ(it_count, n);
+  }
+}
+
+TEST(ChunkedColumnTest, ForEachSpanCoversRangeWithAlignedSpanStarts) {
+  const size_t n = 3 * kChunkRows + 17;
+  std::vector<double> flat(n);
+  for (size_t i = 0; i < n; ++i) flat[i] = static_cast<double>(i);
+  const ChunkedColumn<double> col = ChunkedColumn<double>::FromFlat(flat);
+
+  // A 64-aligned entry point mid-column: every span start must stay
+  // 64-aligned (the EvalRangeInto word-packing invariant).
+  const size_t begin = 128;
+  size_t expect = begin;
+  col.ForEachSpan(begin, n, [&](const double* data, size_t gbegin, size_t len) {
+    ASSERT_EQ(gbegin, expect);
+    ASSERT_EQ(gbegin % 64, 0u);
+    for (size_t i = 0; i < len; ++i) ASSERT_EQ(data[i], flat[gbegin + i]);
+    expect = gbegin + len;
+  });
+  ASSERT_EQ(expect, n);
+}
+
+TEST(ChunkedColumnTest, CopySharesChunksAndIsImmuneToSourceAppends) {
+  std::vector<int64_t> flat(kChunkRows + 100);
+  for (size_t i = 0; i < flat.size(); ++i) flat[i] = static_cast<int64_t>(i);
+  ChunkedColumn<int64_t> col = ChunkedColumn<int64_t>::FromFlat(flat);
+
+  const ChunkedColumn<int64_t> copy = col;
+  ASSERT_EQ(copy.num_chunks(), col.num_chunks());
+  for (size_t ci = 0; ci < col.num_chunks(); ++ci) {
+    ASSERT_EQ(copy.ChunkIdentity(ci), col.ChunkIdentity(ci)) << "chunk " << ci;
+  }
+
+  // The source keeps tail ownership: its appends extend the shared tail
+  // chunk in place, past the copy's recorded size — invisible to the copy.
+  const void* tail_before = col.ChunkIdentity(col.num_chunks() - 1);
+  for (int64_t v = 0; v < 50; ++v) col.push_back(v + 1000);
+  ASSERT_EQ(col.ChunkIdentity(col.num_chunks() - 1), tail_before);
+  ASSERT_TRUE(copy == flat);
+}
+
+TEST(ChunkedColumnTest, NonOwnerAppendCopyOnWritesOnlyTheTail) {
+  std::vector<int64_t> flat(kChunkRows + 100);
+  for (size_t i = 0; i < flat.size(); ++i) flat[i] = static_cast<int64_t>(i);
+  const ChunkedColumn<int64_t> col = ChunkedColumn<int64_t>::FromFlat(flat);
+
+  ChunkedColumn<int64_t> copy = col;
+  copy.push_back(-7);  // first write through a non-owner triggers the CoW
+
+  // The sealed chunk stays shared; only the partial tail was replaced.
+  ASSERT_EQ(copy.ChunkIdentity(0), col.ChunkIdentity(0));
+  ASSERT_NE(copy.ChunkIdentity(1), col.ChunkIdentity(1));
+  ASSERT_TRUE(col == flat);
+  std::vector<int64_t> expect = flat;
+  expect.push_back(-7);
+  ASSERT_TRUE(copy == expect);
+}
+
+TEST(ChunkedColumnTest, AlignedAppendAdoptsChunksMisalignedRepacks) {
+  std::vector<int64_t> a_flat(2 * kChunkRows), b_flat(kChunkRows + 9);
+  for (size_t i = 0; i < a_flat.size(); ++i)
+    a_flat[i] = static_cast<int64_t>(i);
+  for (size_t i = 0; i < b_flat.size(); ++i)
+    b_flat[i] = static_cast<int64_t>(i + 1000000);
+
+  // Chunk-aligned destination: pure pointer adoption.
+  ChunkedColumn<int64_t> a = ChunkedColumn<int64_t>::FromFlat(a_flat);
+  const ChunkedColumn<int64_t> b = ChunkedColumn<int64_t>::FromFlat(b_flat);
+  a.Append(b);
+  ASSERT_EQ(a.size(), a_flat.size() + b_flat.size());
+  for (size_t ci = 0; ci < b.num_chunks(); ++ci) {
+    ASSERT_EQ(a.ChunkIdentity(2 + ci), b.ChunkIdentity(ci)) << "chunk " << ci;
+  }
+  std::vector<int64_t> expect = a_flat;
+  expect.insert(expect.end(), b_flat.begin(), b_flat.end());
+  ASSERT_TRUE(a == expect);
+
+  // Misaligned destination: cells repack, content still exact.
+  ChunkedColumn<int64_t> c = ChunkedColumn<int64_t>::FromFlat(b_flat);
+  c.Append(b);
+  std::vector<int64_t> expect2 = b_flat;
+  expect2.insert(expect2.end(), b_flat.begin(), b_flat.end());
+  ASSERT_TRUE(c == expect2);
+  ASSERT_NE(c.ChunkIdentity(c.num_chunks() - 1),
+            b.ChunkIdentity(b.num_chunks() - 1));
+}
+
+// ------------------------------------------------------ table self-append ---
+
+TEST(ChunkedTableTest, AlignedSelfAppendSharesOwnChunks) {
+  Rng rng(0x5E1F);
+  Table t = RandomTable(2 * kChunkRows, rng);
+  const Table before = t;  // pins the pre-append content
+
+  ASSERT_TRUE(t.AppendRows(t).ok());
+  ASSERT_EQ(t.num_rows(), 4 * kChunkRows);
+
+  // Doubling a chunk-aligned table is pointer adoption: the second half's
+  // chunks ARE the first half's — O(batch) means zero cell copies here.
+  const auto& age = t.Int64Column(0);
+  ASSERT_EQ(age.num_chunks(), 4u);
+  ASSERT_EQ(age.ChunkIdentity(2), age.ChunkIdentity(0));
+  ASSERT_EQ(age.ChunkIdentity(3), age.ChunkIdentity(1));
+
+  const auto& ref = before.Int64Column(0);
+  for (size_t r = 0; r < before.num_rows(); ++r) {
+    ASSERT_EQ(age[r], ref[r]);
+    ASSERT_EQ(age[before.num_rows() + r], ref[r]);
+  }
+}
+
+TEST(ChunkedTableTest, MisalignedSelfAppendIsExact) {
+  Rng rng(0xA11D);
+  Table t = RandomTable(kChunkRows + 33, rng);
+  const Table before = t;
+
+  ASSERT_TRUE(t.AppendRows(t).ok());
+  ASSERT_EQ(t.num_rows(), 2 * before.num_rows());
+  for (size_t r = 0; r < before.num_rows(); ++r) {
+    ASSERT_EQ(t.GetRow(r), before.GetRow(r)) << "row " << r;
+    ASSERT_EQ(t.GetRow(before.num_rows() + r), before.GetRow(r)) << "row " << r;
+  }
+}
+
+// ----------------------------------------------------- scan bit-identity ---
+
+TEST(ChunkedScanProperty, ChunkedEvalBitIdenticalToFlatAndRowReference) {
+  Rng rng(0xC4A9);
+  const Predicate pred = TestPredicate();
+  for (size_t rows : EdgeSizes()) {
+    const Table table = RandomTable(rows, rng);
+    Result<CompiledPredicate> compiled =
+        CompiledPredicate::Compile(pred, table.schema());
+    ASSERT_TRUE(compiled.ok());
+
+    const RowMask chunked = compiled->EvalMask(table);
+    const RowMask flat = compiled->EvalMaskFlat(table);
+    ASSERT_TRUE(chunked == flat) << "rows=" << rows;
+
+    // Spot-check the row-at-a-time boxed reference on a sample (the full
+    // sweep is O(rows · tree) and adds nothing at 3 chunks).
+    for (size_t r = 0; r < rows; r += 97) {
+      ASSERT_EQ(chunked.Test(r), pred.Eval(table, r)) << "row " << r;
+    }
+
+    for (size_t shards : ShardCounts()) {
+      ThreadPool pool(4);
+      ParallelScanOptions opts;
+      opts.pool = &pool;
+      opts.num_shards = shards;
+      const RowMask sharded = ParallelEvalMask(*compiled, table, opts);
+      ASSERT_TRUE(sharded == chunked) << "rows=" << rows
+                                      << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ChunkedScanProperty, RangeEvalAgreesWithFlatAtWordBoundaries) {
+  Rng rng(0x9999);
+  const Table table = RandomTable(3 * kChunkRows + 17, rng);
+  Result<CompiledPredicate> compiled =
+      CompiledPredicate::Compile(TestPredicate(), table.schema());
+  ASSERT_TRUE(compiled.ok());
+
+  // Ranges that straddle chunk edges from word-aligned starts.
+  const size_t n = table.num_rows();
+  const std::vector<std::pair<size_t, size_t>> ranges = {
+      {0, 64},
+      {kChunkRows - 64, kChunkRows + 64},
+      {2 * kChunkRows, n},
+      {(n / 64) * 64, n},
+      {0, n}};
+  for (const auto& [begin, end] : ranges) {
+    RowMask a(n), b(n);
+    compiled->EvalRangeInto(table, begin, end, &a);
+    compiled->EvalRangeIntoFlat(table, begin, end, &b);
+    ASSERT_TRUE(a == b) << "range [" << begin << ", " << end << ")";
+  }
+}
+
+TEST(ChunkedScanProperty, SelectRowsMaskIndicesAndViewAgree) {
+  Rng rng(0xD00D);
+  for (size_t rows : EdgeSizes()) {
+    const Table table = RandomTable(rows, rng);
+    RowMask mask(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      if (rng.NextBernoulli(0.3)) mask.Set(r);
+    }
+
+    const Table by_mask = table.SelectRows(mask);
+    const Table by_indices = table.SelectRows(mask.ToIndices());
+    const TableView view = table.SelectRowsView(mask);
+    const Table by_view = view.Materialize();
+
+    ASSERT_EQ(view.num_rows(), mask.Count());
+    ASSERT_EQ(by_mask.num_rows(), by_indices.num_rows());
+    ASSERT_EQ(by_mask.num_rows(), by_view.num_rows());
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      for (size_t r = 0; r < by_mask.num_rows(); ++r) {
+        ASSERT_EQ(by_mask.GetValue(r, c), by_indices.GetValue(r, c));
+        ASSERT_EQ(by_mask.GetValue(r, c), by_view.GetValue(r, c));
+      }
+    }
+  }
+}
+
+TEST(ChunkedScanProperty, ParallelHistogramAgreesAcrossShardCounts) {
+  Rng rng(0x415F);
+  const size_t rows = 3 * kChunkRows + 17;
+  std::vector<int64_t> codes(rows);
+  std::vector<double> unused(rows, 0.0);
+  std::vector<std::string> tags(rows, "x");
+  for (size_t r = 0; r < rows; ++r) {
+    codes[r] = static_cast<int64_t>(rng.NextBounded(32));
+  }
+  Result<Table> table = Table::FromColumns(
+      TestSchema(), {std::move(codes), std::move(unused), std::move(tags)});
+  ASSERT_TRUE(table.ok());
+  const HistogramQuery query{"age", Domain1D::Categorical(32), std::nullopt};
+
+  RowMask mask(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    if (rng.NextBernoulli(0.5)) mask.Set(r);
+  }
+  Result<Histogram> serial = ComputeHistogramMasked(*table, query, mask);
+  ASSERT_TRUE(serial.ok());
+  for (size_t shards : ShardCounts()) {
+    ThreadPool pool(4);
+    ParallelScanOptions opts;
+    opts.pool = &pool;
+    opts.num_shards = shards;
+    Result<Histogram> sharded =
+        ParallelComputeHistogramMasked(*table, query, mask, opts);
+    ASSERT_TRUE(sharded.ok());
+    ASSERT_EQ(sharded->size(), serial->size());
+    for (size_t b = 0; b < serial->size(); ++b) {
+      ASSERT_DOUBLE_EQ((*sharded)[b], (*serial)[b])
+          << "shards=" << shards << " bin=" << b;
+    }
+  }
+}
+
+// ------------------------------------------------------- string lifetime ---
+
+TEST(ChunkedTableTest, StringViewsIntoSealedChunksSurviveAppends) {
+  Rng rng(0x57A6);
+  Table t = RandomTable(kChunkRows + 5, rng);
+
+  // Views into the sealed chunk (rows below the last chunk boundary).
+  std::vector<std::string_view> views;
+  std::vector<std::string> expected;
+  for (size_t r = 0; r < 100; ++r) {
+    views.push_back(t.StringViewAt(r * 17 % kChunkRows, 2));
+    expected.emplace_back(views.back());
+  }
+
+  // Grow the table well past another chunk boundary, through both the
+  // in-place-tail path and fresh chunks. Under ASan a dangling view here is
+  // a hard failure, not just a flaky comparison.
+  const Table batch = RandomTable(2 * kChunkRows, rng);
+  ASSERT_TRUE(t.AppendRows(batch).ok());
+  for (size_t i = 0; i < views.size(); ++i) {
+    ASSERT_EQ(views[i], expected[i]) << "view " << i;
+  }
+
+  // Copies (snapshot generations) share the sealed chunks, so their views
+  // alias the same bytes.
+  const Table copy = t;
+  ASSERT_EQ(copy.StringViewAt(3, 2).data(), t.StringViewAt(3, 2).data());
+}
+
+// ----------------------------------------------------- snapshot sharing ---
+
+TEST(ChunkedSnapshotTest, ConsecutiveGenerationsShareSealedChunks) {
+  Rng rng(0x6E4E);
+  const Policy policy =
+      Policy::SensitiveWhen(Predicate::Lt("age", Value(18)), "minors");
+  Result<TableBuilder> builder =
+      TableBuilder::Create(RandomTable(kChunkRows + 10, rng), policy);
+  ASSERT_TRUE(builder.ok());
+
+  const SnapshotPtr g0 = builder->BuildSnapshot(0);
+  ASSERT_TRUE(builder->Append(RandomTable(500, rng)).ok());
+  const SnapshotPtr g1 = builder->BuildSnapshot(1);
+
+  // Every chunk of g0 is also a chunk of g1 — publish copied pointers, not
+  // cells. (The partial tail is shared too: the builder appends in place,
+  // and g0 reads only its recorded prefix.)
+  const auto& c0 = g0->table.Int64Column(0);
+  const auto& c1 = g1->table.Int64Column(0);
+  ASSERT_EQ(g0->table.num_rows(), kChunkRows + 10);
+  ASSERT_EQ(g1->table.num_rows(), kChunkRows + 510);
+  for (size_t ci = 0; ci < c0.num_chunks(); ++ci) {
+    ASSERT_EQ(c0.ChunkIdentity(ci), c1.ChunkIdentity(ci)) << "chunk " << ci;
+  }
+
+  // FromSnapshot adopts the chunks as well: no cell copies on restart.
+  Result<TableBuilder> restarted = TableBuilder::FromSnapshot(*g1, policy);
+  ASSERT_TRUE(restarted.ok());
+  const SnapshotPtr g2 = restarted->BuildSnapshot(2);
+  const auto& c2 = g2->table.Int64Column(0);
+  for (size_t ci = 0; ci < c1.num_chunks(); ++ci) {
+    ASSERT_EQ(c2.ChunkIdentity(ci), c1.ChunkIdentity(ci)) << "chunk " << ci;
+  }
+}
+
+// ------------------------------------------------------------- TableView ---
+
+TEST(TableViewTest, OffsetViewSelectsTheSubrange) {
+  Rng rng(0x0FF5);
+  const Table table = RandomTable(200, rng);
+
+  RowMask mask(64);  // covers base rows [100, 164)
+  mask.Set(0);
+  mask.Set(13);
+  mask.Set(63);
+  const TableView view(table, mask, /*row_offset=*/100);
+
+  ASSERT_EQ(view.num_rows(), 3u);
+  ASSERT_EQ(view.ToIndices(), (std::vector<size_t>{100, 113, 163}));
+  const RowMask base = view.BaseMask();
+  ASSERT_EQ(base.size(), table.num_rows());
+  ASSERT_EQ(base.Count(), 3u);
+  ASSERT_TRUE(base.Test(113));
+
+  const Table materialized = view.Materialize();
+  ASSERT_EQ(materialized.num_rows(), 3u);
+  ASSERT_EQ(materialized.GetRow(1), table.GetRow(113));
+}
+
+TEST(TableViewTest, PinningViewKeepsSnapshotAlive) {
+  Rng rng(0x9195);
+  const Policy policy = Policy::AllNonSensitive();
+  Result<TableBuilder> builder =
+      TableBuilder::Create(RandomTable(150, rng), policy);
+  ASSERT_TRUE(builder.ok());
+  SnapshotPtr snap = builder->BuildSnapshot(0);
+
+  RowMask mask(snap->table.num_rows(), /*value=*/true);
+  const TableView view(snap, std::move(mask));
+  const std::string_view cell = view.table().StringViewAt(0, 2);
+  const std::string expect(cell);
+  snap.reset();  // the view's pin is now the only holder
+  ASSERT_EQ(view.table().num_rows(), 150u);
+  ASSERT_EQ(view.table().StringViewAt(0, 2), expect);
+}
+
+TEST(TableViewTest, HistogramOverViewMatchesMaskedHistogram) {
+  Rng rng(0xB14);
+  const size_t rows = kChunkRows + 77;
+  std::vector<int64_t> codes(rows);
+  std::vector<double> zeros(rows, 0.0);
+  std::vector<std::string> tags(rows, "t");
+  for (size_t r = 0; r < rows; ++r) {
+    codes[r] = static_cast<int64_t>(rng.NextBounded(16));
+  }
+  Result<Table> table = Table::FromColumns(
+      TestSchema(), {std::move(codes), std::move(zeros), std::move(tags)});
+  ASSERT_TRUE(table.ok());
+  const HistogramQuery query{"age", Domain1D::Categorical(16), std::nullopt};
+
+  RowMask mask(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    if (rng.NextBernoulli(0.4)) mask.Set(r);
+  }
+  Result<Histogram> masked = ComputeHistogramMasked(*table, query, mask);
+  Result<Histogram> via_view =
+      ComputeHistogram(table->SelectRowsView(mask), query);
+  ASSERT_TRUE(masked.ok());
+  ASSERT_TRUE(via_view.ok());
+  for (size_t b = 0; b < masked->size(); ++b) {
+    ASSERT_DOUBLE_EQ((*via_view)[b], (*masked)[b]) << "bin " << b;
+  }
+}
+
+TEST(TableViewTest, OsdpRRViewMatchesMaterializedRelease) {
+  Rng rng(0x05D9);
+  const Table table = RandomTable(3000, rng);
+  const Policy policy =
+      Policy::SensitiveWhen(Predicate::Lt("age", Value(30)), "p");
+
+  Rng rng_a(42), rng_b(42);
+  Result<Table> released = OsdpRRRelease(table, policy, 0.7, rng_a);
+  Result<TableView> view = OsdpRRReleaseView(table, policy, 0.7, rng_b);
+  ASSERT_TRUE(released.ok());
+  ASSERT_TRUE(view.ok());
+
+  ASSERT_EQ(view->num_rows(), released->num_rows());
+  const Table materialized = view->Materialize();
+  for (size_t r = 0; r < released->num_rows(); ++r) {
+    ASSERT_EQ(materialized.GetRow(r), released->GetRow(r)) << "row " << r;
+  }
+}
+
+// --------------------------------------------------------- AlignedShards ---
+
+TEST(AlignedShardsTest, EdgesAreAlignedAndCoverTheRange) {
+  for (size_t rows : EdgeSizes()) {
+    for (size_t shards : ShardCounts()) {
+      for (size_t alignment : {size_t{64}, kChunkRows}) {
+        const std::vector<size_t> edges =
+            AlignedShards(rows, shards, alignment);
+        ASSERT_GE(edges.size(), 2u);
+        ASSERT_EQ(edges.front(), 0u);
+        ASSERT_EQ(edges.back(), rows);
+        for (size_t i = 1; i + 1 < edges.size(); ++i) {
+          ASSERT_LT(edges[i - 1], edges[i]);
+          ASSERT_EQ(edges[i] % alignment, 0u)
+              << "rows=" << rows << " shards=" << shards
+              << " alignment=" << alignment;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace osdp

@@ -82,6 +82,41 @@ TEST(TableBuilderTest, FromSnapshotAdoptsTheMaskAndMatchesCreate) {
   EXPECT_EQ(a->table.num_rows(), b->table.num_rows());
 }
 
+TEST(TableBuilderTest, FromSnapshotAndBuildSnapshotShareChunksNoCopy) {
+  // Publish and restart are chunk-pointer adoption, not cell copies: every
+  // chunk of the source snapshot is the *same object* (pointer identity) in
+  // the restarted builder's next snapshot — and consecutive generations of
+  // one builder share chunks the same way.
+  const Policy policy = TestPolicy();
+  TableBuilder builder = *TableBuilder::Create(CensusRows(70, 0xB1), policy);
+  const SnapshotPtr g0 = builder.BuildSnapshot(0);
+
+  ASSERT_TRUE(builder.Append(CensusRows(40, 0xB2)).ok());
+  const SnapshotPtr g1 = builder.BuildSnapshot(1);
+  for (size_t c = 0; c < g0->table.num_columns(); ++c) {
+    if (g0->table.schema().field(c).type != ValueType::kInt64) continue;
+    const auto& col0 = g0->table.Int64Column(c);
+    const auto& col1 = g1->table.Int64Column(c);
+    for (size_t ci = 0; ci < col0.num_chunks(); ++ci) {
+      EXPECT_EQ(col0.ChunkIdentity(ci), col1.ChunkIdentity(ci))
+          << "generation chunk copied, col " << c << " chunk " << ci;
+    }
+  }
+
+  TableBuilder restarted = *TableBuilder::FromSnapshot(*g1, policy);
+  const SnapshotPtr g2 = restarted.BuildSnapshot(2);
+  for (size_t c = 0; c < g1->table.num_columns(); ++c) {
+    if (g1->table.schema().field(c).type != ValueType::kInt64) continue;
+    const auto& col1 = g1->table.Int64Column(c);
+    const auto& col2 = g2->table.Int64Column(c);
+    ASSERT_EQ(col2.num_chunks(), col1.num_chunks());
+    for (size_t ci = 0; ci < col1.num_chunks(); ++ci) {
+      EXPECT_EQ(col2.ChunkIdentity(ci), col1.ChunkIdentity(ci))
+          << "FromSnapshot copied col " << c << " chunk " << ci;
+    }
+  }
+}
+
 TEST(TableBuilderTest, AppendedRowsRoundTripExactly) {
   const Table seed = CensusRows(10, 0xA1);
   const Table batch = CensusRows(5, 0xA2);
