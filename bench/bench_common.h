@@ -5,8 +5,11 @@
 #ifndef OSDP_BENCH_BENCH_COMMON_H_
 #define OSDP_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "src/traj/ap_policy.h"
 #include "src/traj/building_sim.h"
@@ -20,6 +23,59 @@ inline int Reps(int fallback) {
   if (env == nullptr) return fallback;
   const int v = std::atoi(env);
   return v > 0 ? v : fallback;
+}
+
+/// \brief Nearest-rank percentile of `vals` (copied and sorted internally):
+/// the smallest element with rank >= ceil(p/100 · N). p=50 is the median of
+/// odd-length inputs and the lower-middle of even ones; 0 on empty input.
+/// The house latency-reporting idiom (bench_percentile in the liric
+/// exemplar): exact, deterministic, no interpolation — a reported p99 is an
+/// actual observed sample.
+inline double Percentile(std::vector<double> vals, double p) {
+  if (vals.empty()) return 0.0;
+  std::sort(vals.begin(), vals.end());
+  const double exact = p / 100.0 * static_cast<double>(vals.size());
+  size_t rank = static_cast<size_t>(exact);
+  if (static_cast<double>(rank) < exact) ++rank;  // ceil
+  if (rank < 1) rank = 1;
+  if (rank > vals.size()) rank = vals.size();
+  return vals[rank - 1];
+}
+
+/// Median via Percentile(·, 50).
+inline double Median(std::vector<double> vals) {
+  return Percentile(std::move(vals), 50.0);
+}
+
+/// The standard latency trio + count, computed in one pass over a sample
+/// vector. Feed it per-query durations (e.g. ServiceAnswer's
+/// server_duration_micros) and report/record the fields directly.
+struct LatencyStats {
+  size_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+inline LatencyStats SummarizeLatencies(std::vector<double> vals) {
+  LatencyStats s;
+  s.count = vals.size();
+  if (vals.empty()) return s;
+  std::sort(vals.begin(), vals.end());
+  auto at = [&](double p) {
+    const double exact = p / 100.0 * static_cast<double>(vals.size());
+    size_t rank = static_cast<size_t>(exact);
+    if (static_cast<double>(rank) < exact) ++rank;
+    if (rank < 1) rank = 1;
+    if (rank > vals.size()) rank = vals.size();
+    return vals[rank - 1];
+  };
+  s.p50 = at(50.0);
+  s.p95 = at(95.0);
+  s.p99 = at(99.0);
+  s.max = vals.back();
+  return s;
 }
 
 /// The canonical scaled-down TIPPERS simulation shared by the trajectory

@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/benchdata/table_gen.h"
 #include "src/common/cancel.h"
 #include "src/common/distributions.h"
@@ -102,6 +103,7 @@ struct RoundStats {
   uint64_t fires = 0;
   size_t replayed = 0;
   double seconds = 0.0;
+  bench::LatencyStats lat;  // delivered-query server durations (us)
 };
 
 int g_violations = 0;
@@ -198,6 +200,7 @@ int main() {
       int q = 0;
     };
     std::vector<std::vector<Delivered>> delivered(num_readers);
+    std::vector<std::vector<double>> delivered_us(num_readers);
     std::vector<double> delivered_eps(num_readers, 0.0);
     std::atomic<size_t> rejected{0}, deadline{0}, cancelled{0}, injected{0};
     std::atomic<bool> unclassified_failure{false};
@@ -272,6 +275,7 @@ int main() {
               d.count = r->count;
             }
             delivered[s].push_back(std::move(d));
+            delivered_us[s].push_back(r->server_duration_micros);
             delivered_eps[s] += kEps;
           }
         }
@@ -309,6 +313,7 @@ int main() {
         d.count = result->count;
       }
       delivered[s].push_back(std::move(d));
+      delivered_us[s].push_back(result->server_duration_micros);
       delivered_eps[s] += kEps;
     }
     rs.seconds = NowSec() - t0;
@@ -418,12 +423,18 @@ int main() {
     rs.deadline = deadline.load();
     rs.cancelled = cancelled.load();
     rs.injected = injected.load();
+    std::vector<double> round_latencies;
+    for (const auto& per_reader : delivered_us) {
+      round_latencies.insert(round_latencies.end(), per_reader.begin(),
+                             per_reader.end());
+    }
+    rs.lat = bench::SummarizeLatencies(std::move(round_latencies));
     stats.push_back(rs);
   }
 
   TextTable text({"round", "fault", "submitted", "delivered", "shed",
                   "deadline", "cancelled", "injected", "fires", "replayed",
-                  "q/s"});
+                  "q/s", "p50 us", "p99 us"});
   for (size_t i = 0; i < stats.size(); ++i) {
     const RoundStats& rs = stats[i];
     text.AddRow({std::to_string(i), rs.fault, std::to_string(rs.submitted),
@@ -432,7 +443,8 @@ int main() {
                  std::to_string(rs.injected), std::to_string(rs.fires),
                  std::to_string(rs.replayed),
                  TextTable::FmtAuto(static_cast<double>(rs.submitted) /
-                                    rs.seconds)});
+                                    rs.seconds),
+                 TextTable::Fmt(rs.lat.p50, 1), TextTable::Fmt(rs.lat.p99, 1)});
   }
   std::printf("%s\n", text.ToString().c_str());
 
@@ -455,10 +467,13 @@ int main() {
         "    {\"round\": %zu, \"fault\": \"%s\", \"submitted\": %zu, "
         "\"delivered\": %zu, \"shed\": %zu, \"deadline\": %zu, "
         "\"cancelled\": %zu, \"injected\": %zu, \"fires\": %llu, "
-        "\"replayed\": %zu, \"seconds\": %.6f}%s\n",
+        "\"replayed\": %zu, \"seconds\": %.6f, \"query_p50_us\": %.3f, "
+        "\"query_p95_us\": %.3f, \"query_p99_us\": %.3f, "
+        "\"query_max_us\": %.3f}%s\n",
         i, rs.fault, rs.submitted, rs.delivered, rs.rejected, rs.deadline,
         rs.cancelled, rs.injected, static_cast<unsigned long long>(rs.fires),
-        rs.replayed, rs.seconds, i + 1 < stats.size() ? "," : "");
+        rs.replayed, rs.seconds, rs.lat.p50, rs.lat.p95, rs.lat.p99,
+        rs.lat.max, i + 1 < stats.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

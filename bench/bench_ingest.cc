@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/benchdata/table_gen.h"
 #include "src/common/distributions.h"
 #include "src/common/random.h"
@@ -104,6 +105,7 @@ struct Measurement {
   double rows_per_sec = 0.0;
   double queries_per_sec = 0.0;
   double publish_overhead = 0.0;  // ingest_sec / append_sec (ingest rows)
+  bench::LatencyStats query_lat;  // mixed phase: per-query server durations
 };
 
 // Rebuilds the dataset as of `generation` from the deterministic batch
@@ -176,7 +178,7 @@ int main() {
     results.push_back({"append", batch_rows, batches * batch_rows, 0, 0,
                        append_sec,
                        static_cast<double>(batches * batch_rows) / append_sec,
-                       0.0});
+                       0.0, 0.0, {}});
 
     // ingest: full QueryService path, one published snapshot per batch.
     auto service = *QueryService::Create(BenchEngine(), {});
@@ -194,7 +196,7 @@ int main() {
     results.push_back({"ingest", batch_rows, batches * batch_rows, batches, 0,
                        ingest_sec,
                        static_cast<double>(batches * batch_rows) / ingest_sec,
-                       0.0, overhead});
+                       0.0, overhead, {}});
 
     text.AddRow({std::to_string(batch_rows), std::to_string(total),
                  TextTable::FmtAuto(static_cast<double>(total) / append_sec),
@@ -247,6 +249,7 @@ int main() {
       double count;
     };
     std::vector<std::vector<Recorded>> recorded(kSessions);
+    std::vector<std::vector<double>> latencies_us(kSessions);
     std::atomic<bool> done{false};
 
     const double t0 = NowSec();
@@ -266,6 +269,7 @@ int main() {
               Predicate::Le("age", Value(10 + (7 * s + 13 * q) % 80)), kEps);
           if (!answer.ok()) std::abort();
           recorded[s].push_back({answer->generation, answer->count});
+          latencies_us[s].push_back(answer->server_duration_micros);
           ++q;
         }
       });
@@ -316,17 +320,28 @@ int main() {
       }
     }
 
+    std::vector<double> all_latencies;
+    for (const auto& per_session : latencies_us) {
+      all_latencies.insert(all_latencies.end(), per_session.begin(),
+                           per_session.end());
+    }
+    const bench::LatencyStats lat =
+        bench::SummarizeLatencies(std::move(all_latencies));
+
     const size_t ingested = batches * kMixedBatchRows;
     results.push_back({"mixed", kMixedBatchRows, ingested, batches, queries,
                        mixed_sec, static_cast<double>(ingested) / mixed_sec,
-                       static_cast<double>(queries) / mixed_sec});
+                       static_cast<double>(queries) / mixed_sec, 0.0, lat});
     std::printf(
         "mixed (%zu pool threads): %zu rows over %zu generations + %zu "
         "queries from %d sessions in %.3gs (%.3g rows/s, %.3g q/s); all "
-        "answers bit-identical to serial replay\n\n",
+        "answers bit-identical to serial replay\n"
+        "mixed query latency: p50 %.1f us, p95 %.1f us, p99 %.1f us, "
+        "max %.1f us\n\n",
         mixed_threads, ingested, batches, queries, kSessions, mixed_sec,
         static_cast<double>(ingested) / mixed_sec,
-        static_cast<double>(queries) / mixed_sec);
+        static_cast<double>(queries) / mixed_sec, lat.p50, lat.p95, lat.p99,
+        lat.max);
   }
 
   // JSON artefact.
@@ -348,9 +363,12 @@ int main() {
         "    {\"op\": \"%s\", \"batch_rows\": %zu, \"total_rows\": %zu, "
         "\"generations\": %zu, \"queries\": %zu, \"sec\": %.6g, "
         "\"rows_per_sec\": %.6g, \"queries_per_sec\": %.6g, "
-        "\"publish_overhead\": %.6g}%s\n",
+        "\"publish_overhead\": %.6g, \"query_p50_us\": %.3f, "
+        "\"query_p95_us\": %.3f, \"query_p99_us\": %.3f, "
+        "\"query_max_us\": %.3f}%s\n",
         m.op.c_str(), m.batch_rows, m.total_rows, m.generations, m.queries,
         m.sec, m.rows_per_sec, m.queries_per_sec, m.publish_overhead,
+        m.query_lat.p50, m.query_lat.p95, m.query_lat.p99, m.query_lat.max,
         i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

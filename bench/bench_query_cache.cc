@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/benchdata/table_gen.h"
 #include "src/core/engine.h"
 #include "src/data/predicate.h"
@@ -128,6 +129,10 @@ struct Measurement {
   size_t cache_bytes;
   double cold_qps;
   double hot_qps;
+  // Per-query latency percentiles (µs) over one steady-state hot batch,
+  // from ServiceAnswer.server_duration_micros — the same field the future
+  // load harness will aggregate.
+  bench::LatencyStats hot_lat;
 };
 
 int Fail(const char* what, size_t rows, size_t repeat, size_t q) {
@@ -170,7 +175,7 @@ int main() {
     const int reps = RepsFor(rows);
 
     TextTable text({"repeat", "queries", "hit rate", "cold q/s", "hot q/s",
-                    "speedup"});
+                    "speedup", "hot p50 us", "hot p99 us"});
     for (size_t repeat : repeat_grid) {
       std::vector<ServiceRequest> batch;
       batch.reserve(pool.size() * repeat);
@@ -232,14 +237,26 @@ int main() {
       const double cold_qps = static_cast<double>(batch.size()) / cold_sec;
       const double hot_qps = static_cast<double>(batch.size()) / hot_sec;
 
+      // Latency percentiles from one steady-state hot pass: every answer
+      // carries its own server-side duration, so no external clocks needed.
+      std::vector<double> lat_us;
+      lat_us.reserve(batch.size());
+      for (const auto& r : hot->AnswerBatch(hot_session, batch)) {
+        if (r.ok()) lat_us.push_back(r->server_duration_micros);
+      }
+      const bench::LatencyStats hot_lat =
+          bench::SummarizeLatencies(std::move(lat_us));
+
       const MaskCache::Stats stats = hot->cache_stats();
       results.push_back({rows, repeat, batch.size(), hit_rate, stats.hits,
                          stats.misses, stats.evictions, stats.bytes, cold_qps,
-                         hot_qps});
+                         hot_qps, hot_lat});
       text.AddRow({std::to_string(repeat), std::to_string(batch.size()),
                    TextTable::Fmt(100.0 * hit_rate, 1) + "%",
                    TextTable::FmtAuto(cold_qps), TextTable::FmtAuto(hot_qps),
-                   TextTable::Fmt(hot_qps / cold_qps, 2) + "x"});
+                   TextTable::Fmt(hot_qps / cold_qps, 2) + "x",
+                   TextTable::Fmt(hot_lat.p50, 1),
+                   TextTable::Fmt(hot_lat.p99, 1)});
     }
     std::printf("--- %zu rows ---\n%s\n", rows, text.ToString().c_str());
   }
@@ -263,12 +280,15 @@ int main() {
         "    {\"rows\": %zu, \"repeat\": %zu, \"queries\": %zu, "
         "\"hit_rate\": %.4f, \"hits\": %llu, \"misses\": %llu, "
         "\"evictions\": %llu, \"cache_bytes\": %zu, "
-        "\"cold_qps\": %.6g, \"hot_qps\": %.6g, \"speedup\": %.3f}%s\n",
+        "\"cold_qps\": %.6g, \"hot_qps\": %.6g, \"speedup\": %.3f, "
+        "\"hot_p50_us\": %.3f, \"hot_p95_us\": %.3f, \"hot_p99_us\": %.3f, "
+        "\"hot_max_us\": %.3f}%s\n",
         m.rows, m.repeat, m.queries, m.hit_rate,
         static_cast<unsigned long long>(m.hits),
         static_cast<unsigned long long>(m.misses),
         static_cast<unsigned long long>(m.evictions), m.cache_bytes,
-        m.cold_qps, m.hot_qps, m.hot_qps / m.cold_qps,
+        m.cold_qps, m.hot_qps, m.hot_qps / m.cold_qps, m.hot_lat.p50,
+        m.hot_lat.p95, m.hot_lat.p99, m.hot_lat.max,
         i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -1,5 +1,7 @@
 #include "src/common/fault.h"
 
+#include <algorithm>
+
 namespace osdp {
 
 FaultRegistry& FaultRegistry::Global() {
@@ -44,6 +46,23 @@ uint64_t FaultRegistry::fires(const std::string& point) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.fire_count;
+}
+
+std::vector<FaultRegistry::PointCounters> FaultRegistry::CountersSnapshot()
+    const {
+  std::vector<PointCounters> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(points_.size());
+    for (const auto& [point, state] : points_) {
+      out.push_back({point, state.armed, state.hit_count, state.fire_count});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PointCounters& a, const PointCounters& b) {
+              return a.point < b.point;
+            });
+  return out;
 }
 
 void FaultRegistry::HitSlow(const char* point) {

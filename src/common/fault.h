@@ -33,6 +33,7 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace osdp {
 
@@ -79,6 +80,21 @@ class FaultRegistry {
 
   /// Times `point` has fired since it was armed.
   uint64_t fires(const std::string& point) const;
+
+  /// One fault point's counters, as exported to the observability surface.
+  struct PointCounters {
+    std::string point;
+    bool armed = false;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  /// Counters for every point the registry has seen since the last
+  /// DisarmAll, sorted by point name — the feed for
+  /// QueryService::MetricsSnapshot()'s fault.* metrics. Points disarmed
+  /// individually remain listed (their counters stay readable until the next
+  /// Arm), so a snapshot taken after a soak round still shows what fired.
+  std::vector<PointCounters> CountersSnapshot() const;
 
   /// \brief The hook production code calls (via OSDP_FAULT_POINT). Unarmed
   /// registry: one relaxed atomic load and return. Armed: counts a hit for

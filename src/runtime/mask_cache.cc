@@ -10,6 +10,10 @@ MaskCache::MaskCache(Options options) : options_(options) {
   num_shards_ = std::max<size_t>(options_.num_shards, 1);
   shard_capacity_ = options_.max_bytes / num_shards_;
   shards_ = std::make_unique<Shard[]>(num_shards_);
+  hits_ = options_.hits != nullptr ? options_.hits : &own_hits_;
+  misses_ = options_.misses != nullptr ? options_.misses : &own_misses_;
+  evictions_ =
+      options_.evictions != nullptr ? options_.evictions : &own_evictions_;
 }
 
 size_t MaskCache::EntryBytes(const RowMask& mask,
@@ -40,13 +44,13 @@ std::shared_ptr<const RowMask> MaskCache::LookupOrComputeKeyed(
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
-      ++shard.hits;
+      hits_->Increment();
       // Touch: splice the entry to the LRU front without reallocation.
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       if (cache_hit != nullptr) *cache_hit = true;
       return it->second->second;
     }
-    ++shard.misses;
+    misses_->Increment();
   }
   if (cache_hit != nullptr) *cache_hit = false;
 
@@ -83,19 +87,19 @@ std::shared_ptr<const RowMask> MaskCache::LookupOrComputeKeyed(
     shard.bytes -= EntryBytes(*victim.second, *victim.first.canonical);
     shard.index.erase(victim.first);
     shard.lru.pop_back();
-    ++shard.evictions;
+    evictions_->Increment();
   }
   return mask;
 }
 
 MaskCache::Stats MaskCache::stats() const {
   Stats total;
+  total.hits = hits_->value();
+  total.misses = misses_->value();
+  total.evictions = evictions_->value();
   for (size_t i = 0; i < num_shards_; ++i) {
     const Shard& shard = shards_[i];
     std::lock_guard<std::mutex> lock(shard.mu);
-    total.hits += shard.hits;
-    total.misses += shard.misses;
-    total.evictions += shard.evictions;
     total.bytes += shard.bytes;
     total.entries += shard.lru.size();
   }

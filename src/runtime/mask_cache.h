@@ -50,6 +50,7 @@
 
 #include "src/data/compiled_predicate.h"
 #include "src/data/row_mask.h"
+#include "src/obs/metrics.h"
 
 namespace osdp {
 
@@ -66,6 +67,15 @@ class MaskCache {
     /// Number of independently-locked shards (minimum 1). Each shard holds
     /// max_bytes / num_shards bytes and its own LRU order.
     size_t num_shards = 8;
+    /// Optional externally-owned counter cells (e.g. from a
+    /// obs::MetricsRegistry) so hit/miss/eviction totals flow straight into
+    /// the owner's metric namespace. Null pointers fall back to cells owned
+    /// by the cache itself; either way the counters are functional (always
+    /// maintained — the telemetry enable gate does not apply) and uniform:
+    /// relaxed-atomic obs::Counter increments, exact under concurrency.
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* evictions = nullptr;
   };
 
   /// Counters for tests, benches, and operators. `bytes`/`entries` are the
@@ -103,9 +113,9 @@ class MaskCache {
       uint64_t generation, const std::function<RowMask()>& compute,
       bool* cache_hit = nullptr);
 
-  /// Aggregated counters across all shards (each shard's counters are read
-  /// under its own lock; the totals are a consistent-enough composite for
-  /// assertions between quiescent points).
+  /// Aggregated view: hit/miss/eviction totals from the (atomic) counter
+  /// cells plus bytes/entries summed across shards under their locks — a
+  /// consistent-enough composite for assertions between quiescent points.
   Stats stats() const;
 
  private:
@@ -138,9 +148,6 @@ class MaskCache {
     LruList lru;  // front = most recently used
     std::unordered_map<Key, LruList::iterator, KeyHash> index;
     size_t bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
   };
 
   Shard& ShardFor(const Key& key) {
@@ -154,6 +161,14 @@ class MaskCache {
   size_t shard_capacity_ = 0;
   // Shards hold mutexes (immovable), so they live in a fixed array.
   std::unique_ptr<Shard[]> shards_;
+  // Fallback counter cells when Options does not inject external ones.
+  obs::Counter own_hits_;
+  obs::Counter own_misses_;
+  obs::Counter own_evictions_;
+  // Resolved targets: either the injected cells or the fallbacks above.
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
 };
 
 }  // namespace osdp

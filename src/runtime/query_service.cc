@@ -1,5 +1,6 @@
 #include "src/runtime/query_service.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -37,6 +38,15 @@ struct QueryService::PreparedRequest {
   // the request's and the batch's deadline, plus the batch token).
   ExecControl control;
 
+  // Observability metadata. submit_ns (batch submission time) is always
+  // stamped — it feeds ServiceAnswer.server_duration_micros; the per-stage
+  // durations are measured only when telemetry is enabled and become the
+  // admit/validate/reserve events of the query's trace.
+  uint64_t submit_ns = 0;
+  uint64_t admit_ns = 0;
+  uint64_t validate_ns = 0;
+  uint64_t reserve_ns = 0;
+
   // Count form: the WHERE clause, compiled during validation.
   std::optional<CompiledPredicate> count_pred;
 
@@ -55,16 +65,69 @@ struct QueryService::PreparedRequest {
   BudgetReservation reservation;
 };
 
+QueryService::MetricsHandles QueryService::ResolveMetrics(
+    obs::MetricsRegistry* registry) {
+  MetricsHandles m;
+  m.batches_admitted = registry->GetCounter("service.batches_admitted");
+  m.batches_rejected = registry->GetCounter("service.batches_rejected");
+  m.queries_shed = registry->GetCounter("service.queries_shed");
+  m.queries_delivered = registry->GetCounter("service.queries_delivered");
+  m.queries_failed = registry->GetCounter("service.queries_failed");
+  m.queries_cancelled = registry->GetCounter("service.queries_cancelled");
+  m.queries_deadline_exceeded =
+      registry->GetCounter("service.queries_deadline_exceeded");
+  m.inflight_batches = registry->GetGauge("service.inflight_batches");
+  m.inflight_queries = registry->GetGauge("service.inflight_queries");
+  m.peak_inflight_batches =
+      registry->GetGauge("service.peak_inflight_batches");
+  m.h_query = registry->GetHistogram("service.query_ns");
+  m.h_batch = registry->GetHistogram("service.batch_ns");
+  m.h_validate = registry->GetHistogram("service.validate_ns");
+  m.h_reserve = registry->GetHistogram("service.reserve_ns");
+  m.h_cache_lookup = registry->GetHistogram("service.cache_lookup_ns");
+  m.h_scan = registry->GetHistogram("service.scan_ns");
+  m.h_mechanism = registry->GetHistogram("service.mechanism_ns");
+  m.cache_hits = registry->GetCounter("cache.hits");
+  m.cache_misses = registry->GetCounter("cache.misses");
+  m.cache_evictions = registry->GetCounter("cache.evictions");
+  m.cache_bytes = registry->GetGauge("cache.bytes");
+  m.cache_entries = registry->GetGauge("cache.entries");
+  m.ingest_batches = registry->GetCounter("ingest.batches");
+  m.ingest_rows = registry->GetCounter("ingest.rows");
+  m.ingest_failures = registry->GetCounter("ingest.failures");
+  m.ingest_generation = registry->GetGauge("ingest.generation");
+  m.ingest_rows_per_sec = registry->GetGauge("ingest.rows_per_sec");
+  m.h_ingest_append = registry->GetHistogram("ingest.append_ns");
+  m.h_ingest_publish = registry->GetHistogram("ingest.publish_ns");
+  m.budget_service_remaining =
+      registry->GetGauge("budget.service_remaining_eps");
+  m.budget_service_spent = registry->GetGauge("budget.service_spent_eps");
+  m.budget_ledger_entries = registry->GetGauge("budget.ledger_entries");
+  return m;
+}
+
 QueryService::QueryService(OsdpEngine engine, TableBuilder builder,
                            Options options)
     : engine_(std::move(engine)),
       options_(options),
+      metrics_(options.metrics_enabled && obs::MetricsEnabledFromEnv()),
+      traces_(options.trace_ring_capacity),
+      m_(ResolveMetrics(&metrics_)),
       service_budget_(engine_.remaining_budget()),
-      mask_cache_(
-          MaskCache::Options{options.mask_cache_bytes,
-                             options.mask_cache_shards}),
+      mask_cache_(MaskCache::Options{options.mask_cache_bytes,
+                                     options.mask_cache_shards, m_.cache_hits,
+                                     m_.cache_misses, m_.cache_evictions}),
       store_(engine_.snapshot()),
-      builder_(std::move(builder)) {}
+      builder_(std::move(builder)) {
+  if (metrics_.enabled()) {
+    // Light up the pool's own telemetry alongside ours. Enabling is one-way
+    // here on purpose: a metrics-off service sharing a pool with a
+    // metrics-on one must not silently switch the shared telemetry off.
+    ThreadPool& pool =
+        options_.pool != nullptr ? *options_.pool : ThreadPool::Default();
+    pool.set_metrics_enabled(true);
+  }
+}
 
 Result<std::unique_ptr<QueryService>> QueryService::Create(OsdpEngine engine,
                                                            Options options) {
@@ -106,8 +169,16 @@ Status QueryService::CloseSession(SessionId session) {
 
 Result<uint64_t> QueryService::Ingest(const RowBatch& batch) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
+  const bool telemetry = metrics_.enabled();
+  const uint64_t t0 = telemetry ? obs::NowNs() : 0;
   try {
-    OSDP_RETURN_IF_ERROR(builder_.Append(batch));
+    const Status appended = builder_.Append(batch);
+    if (!appended.ok()) {
+      m_.ingest_failures->Increment();
+      return appended;
+    }
+    const uint64_t t_append = telemetry ? obs::NowNs() : 0;
+    if (telemetry) m_.h_ingest_append->Record(t_append - t0);
     if (batch.num_rows() == 0) {
       // Schema-valid but empty: a no-op. Publishing a new generation here
       // would invalidate every cached (predicate, generation) mask for
@@ -124,10 +195,26 @@ Result<uint64_t> QueryService::Ingest(const RowBatch& batch) {
     SnapshotPtr next = builder_.BuildSnapshot(generation);
     OSDP_FAULT_POINT("ingest/publish");
     store_.Publish(std::move(next));
+    if (telemetry) {
+      const uint64_t t_end = obs::NowNs();
+      // "Publish" latency is build-and-swap: everything between the append
+      // returning and the new snapshot becoming visible.
+      m_.h_ingest_publish->Record(t_end - t_append);
+      m_.ingest_batches->Increment();
+      m_.ingest_rows->Increment(batch.num_rows());
+      m_.ingest_generation->Set(static_cast<double>(generation));
+      const double sec = static_cast<double>(t_end - t0) * 1e-9;
+      if (sec > 0.0) {
+        m_.ingest_rows_per_sec->Set(
+            static_cast<double>(batch.num_rows()) / sec);
+      }
+    }
     return generation;
   } catch (const InjectedFault& fault) {
+    m_.ingest_failures->Increment();
     return Status::Internal(fault.what());
   } catch (const std::exception& e) {
+    m_.ingest_failures->Increment();
     return Status::Internal(std::string("ingest failed: ") + e.what());
   }
 }
@@ -148,23 +235,29 @@ Result<double> QueryService::session_remaining(SessionId session) const {
 }
 
 bool QueryService::TryAdmit(size_t batch_queries) {
+  // The decision state (in-flight levels) stays under the mutex; the
+  // counters and gauges it feeds are registry cells — functional metrics,
+  // maintained whether or not telemetry is enabled, and exactly what
+  // admission_stats() reads back.
   std::lock_guard<std::mutex> lock(admission_mu_);
   if (options_.max_concurrent_batches != 0 &&
       inflight_batches_ >= options_.max_concurrent_batches) {
-    ++admission_stats_.rejected;
+    m_.batches_rejected->Increment();
+    m_.queries_shed->Increment(batch_queries);
     return false;
   }
   if (options_.max_queued_queries != 0 &&
       inflight_queries_ + batch_queries > options_.max_queued_queries) {
-    ++admission_stats_.rejected;
+    m_.batches_rejected->Increment();
+    m_.queries_shed->Increment(batch_queries);
     return false;
   }
   ++inflight_batches_;
   inflight_queries_ += batch_queries;
-  ++admission_stats_.admitted;
-  if (inflight_batches_ > admission_stats_.peak_inflight) {
-    admission_stats_.peak_inflight = inflight_batches_;
-  }
+  m_.batches_admitted->Increment();
+  m_.inflight_batches->Set(static_cast<double>(inflight_batches_));
+  m_.inflight_queries->Set(static_cast<double>(inflight_queries_));
+  m_.peak_inflight_batches->SetMax(static_cast<double>(inflight_batches_));
   return true;
 }
 
@@ -172,6 +265,14 @@ void QueryService::EndBatch(size_t batch_queries) {
   std::lock_guard<std::mutex> lock(admission_mu_);
   --inflight_batches_;
   inflight_queries_ -= batch_queries;
+  m_.inflight_batches->Set(static_cast<double>(inflight_batches_));
+  m_.inflight_queries->Set(static_cast<double>(inflight_queries_));
+}
+
+QueryService::AdmissionStats QueryService::admission_stats() const {
+  return AdmissionStats{
+      m_.batches_admitted->value(), m_.batches_rejected->value(),
+      static_cast<uint64_t>(m_.peak_inflight_batches->value())};
 }
 
 Result<QueryService::PreparedRequest> QueryService::Validate(
@@ -255,6 +356,51 @@ std::shared_ptr<const RowMask> QueryService::CachedScanMask(
 }
 
 Result<ServiceAnswer> QueryService::Execute(PreparedRequest* prepared) {
+  if (!metrics_.enabled()) return ExecuteImpl(prepared, nullptr);
+
+  // Telemetry-on path: build the query's trace from the stage durations the
+  // batch loops already measured, let ExecuteImpl mark the execution stages,
+  // then classify the outcome — delivered, failed, cancelled, deadline — and
+  // push the finished trace. Exceptions re-raise unchanged: AnswerBatch's
+  // per-slot handling (and the refund-by-destruction contract) is identical
+  // with telemetry on and off.
+  obs::TraceSpan span(prepared->session->id, prepared->seq,
+                      prepared->snapshot->generation);
+  span.Add(obs::Stage::kAdmit, prepared->admit_ns);
+  span.Add(obs::Stage::kValidate, prepared->validate_ns);
+  span.Add(obs::Stage::kReserve, prepared->reserve_ns);
+  try {
+    Result<ServiceAnswer> result = ExecuteImpl(prepared, &span);
+    const uint64_t end_ns = obs::NowNs();
+    if (result.ok()) {
+      m_.queries_delivered->Increment();
+      m_.h_query->Record(end_ns - prepared->submit_ns);
+      span.Mark(obs::Stage::kDeliver, end_ns);
+      span.trace().cache_hit = result.ValueOrDie().cache_hit;
+    } else {
+      m_.queries_failed->Increment();
+    }
+    span.Finish(static_cast<int>(result.status().code()), traces_, end_ns);
+    return result;
+  } catch (const AbortedError& aborted) {
+    if (aborted.status.code() == StatusCode::kCancelled) {
+      m_.queries_cancelled->Increment();
+    } else {
+      m_.queries_deadline_exceeded->Increment();
+    }
+    span.Finish(static_cast<int>(aborted.status.code()), traces_,
+                obs::NowNs());
+    throw;
+  } catch (...) {
+    m_.queries_failed->Increment();
+    span.Finish(static_cast<int>(StatusCode::kInternal), traces_,
+                obs::NowNs());
+    throw;
+  }
+}
+
+Result<ServiceAnswer> QueryService::ExecuteImpl(PreparedRequest* prepared,
+                                                obs::TraceSpan* span) {
   OSDP_FAULT_POINT("query/execute");
   // Entry check: a deadline that passed while the query sat behind the
   // reservation phase, or a token fired before any scan ran, abandons the
@@ -272,6 +418,13 @@ Result<ServiceAnswer> QueryService::Execute(PreparedRequest* prepared) {
   if (prepared->count_pred.has_value()) {
     const std::shared_ptr<const RowMask> scan_mask =
         CachedScanMask(*prepared->count_pred, snap, scan, &answer.cache_hit);
+    if (span != nullptr) {
+      const uint64_t dt = span->Mark(answer.cache_hit
+                                         ? obs::Stage::kCacheLookup
+                                         : obs::Stage::kScan,
+                                     obs::NowNs());
+      (answer.cache_hit ? m_.h_cache_lookup : m_.h_scan)->Record(dt);
+    }
     // The cached mask is immutable and shared; combining with the policy
     // mask works on a copy — word operations, negligible next to the scan
     // the cache hit skipped.
@@ -281,7 +434,12 @@ Result<ServiceAnswer> QueryService::Execute(PreparedRequest* prepared) {
     // One-sided Laplace with sensitivity 1, exactly OsdpEngine::AnswerCount.
     OSDP_FAULT_POINT("mechanism/run");
     answer.count = count + SampleOneSidedLaplace(rng, 1.0 / prepared->epsilon);
+    if (span != nullptr) {
+      m_.h_mechanism->Record(
+          span->Mark(obs::Stage::kMechanism, obs::NowNs()));
+    }
   } else {
+    if (span != nullptr) span->trace().is_histogram = true;
     const PreparedHistogramQuery& query = *prepared->hist_prepared;
 
     // Compute only the histogram(s) the mechanism reads: x (all rows) for
@@ -299,6 +457,13 @@ Result<ServiceAnswer> QueryService::Execute(PreparedRequest* prepared) {
     if (query.where() != nullptr) {
       where_mask =
           CachedScanMask(*query.where(), snap, scan, &answer.cache_hit);
+      if (span != nullptr) {
+        const uint64_t dt = span->Mark(answer.cache_hit
+                                           ? obs::Stage::kCacheLookup
+                                           : obs::Stage::kScan,
+                                       obs::NowNs());
+        (answer.cache_hit ? m_.h_cache_lookup : m_.h_scan)->Record(dt);
+      }
     }
 
     Histogram x(query.num_bins());
@@ -329,6 +494,12 @@ Result<ServiceAnswer> QueryService::Execute(PreparedRequest* prepared) {
     // refund path to forget.
     if (!released.ok()) return released.status();
     answer.histogram = std::move(released).ValueOrDie();
+    if (span != nullptr) {
+      // The mechanism stage of a histogram covers accumulation + release —
+      // everything after the WHERE mask was resolved.
+      m_.h_mechanism->Record(
+          span->Mark(obs::Stage::kMechanism, obs::NowNs()));
+    }
   }
 
   // Last check point before the release becomes real: a cancellation that
@@ -340,6 +511,14 @@ Result<ServiceAnswer> QueryService::Execute(PreparedRequest* prepared) {
   ledger_.Record(engine_.policy(), prepared->epsilon,
                  prepared->label + " (" + prepared->session->analyst + ")",
                  snap.generation);
+  // Metadata only, stamped after every answer bit is final: the duration can
+  // never feed back into the released value (the bit-identity twin tests
+  // pin exactly this). One clock read serves both the budget-charge mark and
+  // the duration.
+  const uint64_t now = obs::NowNs();
+  if (span != nullptr) span->Mark(obs::Stage::kBudgetCharge, now);
+  answer.server_duration_micros =
+      static_cast<double>(now - prepared->submit_ns) * 1e-3;
   return answer;
 }
 
@@ -349,6 +528,12 @@ std::vector<Result<ServiceAnswer>> QueryService::AnswerBatch(
   std::vector<Result<ServiceAnswer>> results(
       batch.size(), Result<ServiceAnswer>(Status::Internal("not executed")));
   if (batch.empty()) return results;
+
+  // Submission timestamp: always read (it feeds the answers'
+  // server_duration_micros); everything finer-grained is behind the
+  // telemetry gate.
+  const uint64_t submit_ns = obs::NowNs();
+  const bool telemetry = metrics_.enabled();
 
   // Phase 0: the admission gate. Shed-whole-batch keeps the decision a pure
   // function of load — an admitted batch's answers are bit-identical to an
@@ -383,27 +568,51 @@ std::vector<Result<ServiceAnswer>> QueryService::AnswerBatch(
   const SnapshotPtr snapshot = store_.Current();
 
   // Phase 1a (lock-free): validate and bind every request — concurrent
-  // batches pay the compilation cost in parallel.
+  // batches pay the compilation cost in parallel. With telemetry on,
+  // consecutive clock reads are shared across loop iterations (one read per
+  // query, not two) and the admit duration — time spent getting through the
+  // gate — is attributed to every query of the batch.
+  const uint64_t admit_ns = telemetry ? obs::NowNs() - submit_ns : 0;
   std::vector<std::optional<PreparedRequest>> prepared(batch.size());
+  uint64_t t_prev = telemetry ? obs::NowNs() : 0;
   for (size_t i = 0; i < batch.size(); ++i) {
     Result<PreparedRequest> r = Validate(batch[i], snapshot, control);
     if (r.ok()) {
       prepared[i] = std::move(r).ValueOrDie();
       prepared[i]->session = s;
+      prepared[i]->submit_ns = submit_ns;
+      prepared[i]->admit_ns = admit_ns;
     } else {
       results[i] = r.status();
+    }
+    if (telemetry) {
+      const uint64_t now = obs::NowNs();
+      if (prepared[i].has_value()) {
+        prepared[i]->validate_ns = now - t_prev;
+        m_.h_validate->Record(now - t_prev);
+      }
+      t_prev = now;
     }
   }
 
   // Phase 1b (serial, deterministic batch order): reserve both budgets.
   {
     std::lock_guard<std::mutex> lock(reserve_mu_);
+    if (telemetry) t_prev = obs::NowNs();
     for (size_t i = 0; i < batch.size(); ++i) {
       if (!prepared[i].has_value()) continue;
       const Status reserved = Reserve(*s, &*prepared[i]);
       if (!reserved.ok()) {
         results[i] = reserved;
         prepared[i].reset();
+      }
+      if (telemetry) {
+        const uint64_t now = obs::NowNs();
+        if (prepared[i].has_value()) {
+          prepared[i]->reserve_ns = now - t_prev;
+          m_.h_reserve->Record(now - t_prev);
+        }
+        t_prev = now;
       }
     }
   }
@@ -448,6 +657,7 @@ std::vector<Result<ServiceAnswer>> QueryService::AnswerBatch(
       }
     }
   }
+  if (telemetry) m_.h_batch->Record(obs::NowNs() - submit_ns);
   return results;
 }
 
@@ -465,6 +675,78 @@ Result<ServiceAnswer> QueryService::AnswerHistogram(
   std::vector<ServiceRequest> batch;
   batch.emplace_back(HistogramRequest{query, epsilon, mechanism});
   return std::move(AnswerBatch(session, batch)[0]);
+}
+
+obs::MetricsSnapshot QueryService::MetricsSnapshot() const {
+  // Budget and cache-level gauges are computed here, on demand, from the
+  // live accounting state rather than being maintained on the hot path:
+  // scrape-time work scales with scrape rate, not query rate, and
+  // per-session gauges cost nothing until someone asks.
+  m_.budget_service_remaining->Set(service_budget_.remaining());
+  m_.budget_service_spent->Set(service_budget_.spent());
+  m_.budget_ledger_entries->Set(static_cast<double>(ledger_.size()));
+  const MaskCache::Stats cache = mask_cache_.stats();
+  m_.cache_bytes->Set(static_cast<double>(cache.bytes));
+  m_.cache_entries->Set(static_cast<double>(cache.entries));
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& [id, session] : sessions_) {
+      const std::string prefix = "budget.session." + std::to_string(id);
+      metrics_.GetGauge(prefix + ".eps_spent")->Set(session->budget.spent());
+      metrics_.GetGauge(prefix + ".eps_remaining")
+          ->Set(session->budget.remaining());
+    }
+  }
+
+  obs::MetricsSnapshot snap = metrics_.Snapshot();
+
+  // Pool telemetry lives in the pool (it may be shared across services);
+  // merge it into the scrape under pool.*.
+  ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : ThreadPool::Default();
+  const ThreadPool::Stats ps = pool.stats();
+  snap.counters.push_back({"pool.tasks_submitted", ps.tasks_submitted});
+  snap.counters.push_back({"pool.tasks_executed", ps.tasks_executed});
+  snap.counters.push_back({"pool.parallel_fors", ps.parallel_fors});
+  snap.counters.push_back({"pool.chunks_executed", ps.chunks_executed});
+  snap.gauges.push_back(
+      {"pool.queue_depth", static_cast<double>(ps.queue_depth)});
+  snap.gauges.push_back({"pool.peak_queue_depth",
+                         static_cast<double>(ps.peak_queue_depth)});
+  snap.gauges.push_back(
+      {"pool.num_threads", static_cast<double>(pool.num_threads())});
+  snap.gauges.push_back({"pool.utilization", ps.utilization});
+  const obs::LatencyHistogram::Summary task_sum =
+      pool.task_histogram().Summarize();
+  snap.histograms.push_back({"pool.task_ns", task_sum.count, task_sum.mean_ns,
+                             task_sum.max_ns, task_sum.p50_ns, task_sum.p95_ns,
+                             task_sum.p99_ns});
+  const obs::LatencyHistogram::Summary chunk_sum =
+      pool.chunk_histogram().Summarize();
+  snap.histograms.push_back({"pool.chunk_ns", chunk_sum.count,
+                             chunk_sum.mean_ns, chunk_sum.max_ns,
+                             chunk_sum.p50_ns, chunk_sum.p95_ns,
+                             chunk_sum.p99_ns});
+
+  // Fault-point counters (process-global registry) under fault.*.
+  for (const FaultRegistry::PointCounters& pc :
+       FaultRegistry::Global().CountersSnapshot()) {
+    snap.counters.push_back({"fault." + pc.point + ".hits", pc.hits});
+    snap.counters.push_back({"fault." + pc.point + ".fires", pc.fires});
+  }
+
+  // Restore global name order after the merges, so the dump is stable.
+  std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::sort(snap.gauges.begin(), snap.gauges.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snap;
+}
+
+std::string QueryService::DumpMetricsJson() const {
+  return MetricsSnapshot().ToJson();
 }
 
 }  // namespace osdp

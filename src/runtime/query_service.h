@@ -107,6 +107,8 @@
 #include "src/data/snapshot_store.h"
 #include "src/data/table_builder.h"
 #include "src/hist/histogram_query.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/mask_cache.h"
 #include "src/runtime/parallel_scan.h"
 #include "src/runtime/thread_pool.h"
@@ -158,6 +160,13 @@ struct ServiceAnswer {
   /// never cached. Always false when the query has no WHERE scan (an
   /// unfiltered histogram) or the cache is disabled.
   bool cache_hit = false;
+  /// Wall time this query spent in the service, from batch submission to
+  /// delivery of this answer, in microseconds. Metadata only — measured
+  /// *after* the answer's bits are final and never consulted by any
+  /// mechanism, so two runs of the same query agree on every other field
+  /// while (naturally) disagreeing here; asserted by the twin-run tests.
+  /// Always populated, independent of the metrics_enabled telemetry gate.
+  double server_duration_micros = 0.0;
 };
 
 /// \brief Concurrent multi-session OSDP query service over a streaming,
@@ -199,6 +208,19 @@ class QueryService {
     /// query contents, keeping admitted answers bit-identical to an
     /// unloaded replay.
     size_t max_queued_queries = 0;
+    /// Master switch of the telemetry layer (stage latency histograms,
+    /// per-query traces, timing gauges). ANDed with the OSDP_METRICS env var
+    /// ("0" disables) at Create. Disabled, every instrumented site costs one
+    /// relaxed atomic load — no clocks, no histogram writes, no traces —
+    /// and answers are bit-identical either way (telemetry is write-only;
+    /// nothing reads it on a decision path). Functional counters —
+    /// admission, cache hits/misses/evictions — are exact regardless of
+    /// this switch.
+    bool metrics_enabled = true;
+    /// Capacity of the bounded in-memory ring of recent per-query traces
+    /// (admit → cache lookup/scan → mechanism → budget charge → deliver).
+    /// Slots are preallocated at Create; 0 keeps spans from being retained.
+    size_t trace_ring_capacity = 256;
   };
 
   /// Load-shedding counters: batches admitted, batches shed with
@@ -315,15 +337,39 @@ class QueryService {
 
   /// Mask-cache counters {hits, misses, evictions, bytes, entries} so tests
   /// and benches can assert cache behavior instead of inferring it from
-  /// timing. All zero when the cache is disabled.
+  /// timing. A thin view over the registry's cache.* counters (the cache
+  /// increments them directly) plus the per-shard byte/entry totals. All
+  /// zero when the cache is disabled.
   MaskCache::Stats cache_stats() const { return mask_cache_.stats(); }
 
   /// Admission counters {admitted, rejected, peak_inflight} so tests and
-  /// the load bench can assert shedding behavior exactly.
-  AdmissionStats admission_stats() const {
-    std::lock_guard<std::mutex> lock(admission_mu_);
-    return admission_stats_;
-  }
+  /// the load bench can assert shedding behavior exactly. A thin view over
+  /// the registry's service.* counters — the single source of truth since
+  /// the observability PR; exact at quiescent points (relaxed-atomic reads,
+  /// no lock).
+  AdmissionStats admission_stats() const;
+
+  /// \brief Point-in-time copy of every metric: the service's own registry
+  /// (service.*, cache.*, ingest.*) plus on-demand budget gauges (budget.*,
+  /// including per-session ε spent/remaining computed from the live budgets
+  /// — never maintained as live metrics, so session cardinality costs
+  /// nothing until someone scrapes), pool telemetry (pool.*), and the fault
+  /// registry's per-point hit/fire counters (fault.*). Entries are sorted
+  /// by name. This — serialized by DumpMetricsJson() — is the surface the
+  /// future wire front end will serve as its scrape endpoint.
+  obs::MetricsSnapshot MetricsSnapshot() const;
+
+  /// MetricsSnapshot() as stable JSON.
+  std::string DumpMetricsJson() const;
+
+  /// The service's metric registry (telemetry gate, raw handles). Exposed
+  /// for tests and embedding front ends; instrumentation is write-only, so
+  /// external reads can never perturb answers.
+  obs::MetricsRegistry& metrics_registry() const { return metrics_; }
+
+  /// The bounded ring of recent per-query traces (DumpText()/DumpJson() for
+  /// the human/scrape views). Empty unless telemetry is enabled.
+  const obs::TraceRing& trace_ring() const { return traces_; }
 
   /// Number of rows in the latest published generation.
   size_t num_rows() const { return store_.Current()->table.num_rows(); }
@@ -372,7 +418,16 @@ class QueryService {
   // from a tripped deadline/cancel poll, InjectedFault or any other
   // exception unwinding through — leaves the reservation armed, and the
   // caller's destruction of the prepared request refunds it in full.
+  //
+  // Execute is the telemetry wrapper: with metrics off it is one relaxed
+  // load and a tail call into ExecuteImpl; with metrics on it builds the
+  // query's TraceSpan, classifies the outcome into the service.* counters,
+  // records stage histograms, and pushes the finished trace — then
+  // re-raises whatever ExecuteImpl raised, so the failure contract is
+  // byte-for-byte the one AnswerBatch already handles.
   Result<ServiceAnswer> Execute(PreparedRequest* prepared);
+  Result<ServiceAnswer> ExecuteImpl(PreparedRequest* prepared,
+                                    obs::TraceSpan* span);
 
   // The scan mask of `pred` over `snap`'s table, served from the mask cache
   // when enabled (lookup keyed by fingerprint × snap.generation, computed
@@ -382,8 +437,60 @@ class QueryService {
                                                 const ParallelScanOptions& scan,
                                                 bool* cache_hit);
 
+  // Resolved registry handles, one pointer per metric the hot paths touch —
+  // looked up once at construction so instrumentation never pays a name
+  // lookup. Grouped here (rather than ad-hoc members) so the catalog in
+  // docs/observability.md has one place to mirror.
+  struct MetricsHandles {
+    // service.* — admission and outcome counters (functional: always
+    // maintained; admission_stats() is a view over the first three).
+    obs::Counter* batches_admitted;
+    obs::Counter* batches_rejected;
+    obs::Counter* queries_shed;
+    obs::Counter* queries_delivered;
+    obs::Counter* queries_failed;
+    obs::Counter* queries_cancelled;
+    obs::Counter* queries_deadline_exceeded;
+    obs::Gauge* inflight_batches;
+    obs::Gauge* inflight_queries;
+    obs::Gauge* peak_inflight_batches;
+    // service.* — stage latency histograms (telemetry: gated).
+    obs::LatencyHistogram* h_query;
+    obs::LatencyHistogram* h_batch;
+    obs::LatencyHistogram* h_validate;
+    obs::LatencyHistogram* h_reserve;
+    obs::LatencyHistogram* h_cache_lookup;
+    obs::LatencyHistogram* h_scan;
+    obs::LatencyHistogram* h_mechanism;
+    // cache.* — functional counters the MaskCache increments directly.
+    obs::Counter* cache_hits;
+    obs::Counter* cache_misses;
+    obs::Counter* cache_evictions;
+    obs::Gauge* cache_bytes;
+    obs::Gauge* cache_entries;
+    // ingest.* (telemetry: gated, except the failure counter).
+    obs::Counter* ingest_batches;
+    obs::Counter* ingest_rows;
+    obs::Counter* ingest_failures;
+    obs::Gauge* ingest_generation;
+    obs::Gauge* ingest_rows_per_sec;
+    obs::LatencyHistogram* h_ingest_append;
+    obs::LatencyHistogram* h_ingest_publish;
+    // budget.* — refreshed on demand by MetricsSnapshot().
+    obs::Gauge* budget_service_remaining;
+    obs::Gauge* budget_service_spent;
+    obs::Gauge* budget_ledger_entries;
+  };
+  static MetricsHandles ResolveMetrics(obs::MetricsRegistry* registry);
+
   OsdpEngine engine_;
   Options options_;
+  // Declared before mask_cache_ so the cache can be wired to the registry's
+  // counter cells at construction. Mutable: snapshotting/refreshing gauges
+  // is observation, not service state.
+  mutable obs::MetricsRegistry metrics_;
+  obs::TraceRing traces_;
+  MetricsHandles m_;
   SharedBudget service_budget_;
   SharedLedger ledger_;
   MaskCache mask_cache_;
@@ -403,11 +510,12 @@ class QueryService {
   std::mutex reserve_mu_;
 
   // The admission gate's book-keeping (a plain mutex: touched twice per
-  // batch, invisible next to the scans it admits).
+  // batch, invisible next to the scans it admits). The *decision* state —
+  // in-flight levels — lives here; the admitted/rejected/peak counters went
+  // to the registry (see MetricsHandles), with admission_stats() as a view.
   mutable std::mutex admission_mu_;
   size_t inflight_batches_ = 0;
   size_t inflight_queries_ = 0;
-  AdmissionStats admission_stats_;
 };
 
 }  // namespace osdp

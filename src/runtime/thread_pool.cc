@@ -15,6 +15,7 @@
 namespace osdp {
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  start_ns_ = obs::NowNs();
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -31,13 +32,30 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  const bool metrics = metrics_enabled_.load(std::memory_order_relaxed);
   if (threads_.empty()) {
-    task();
+    if (metrics) {
+      tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t t0 = obs::NowNs();
+      task();
+      const uint64_t dt = obs::NowNs() - t0;
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      busy_ns_.fetch_add(dt, std::memory_order_relaxed);
+      task_hist_.Record(dt);
+    } else {
+      task();
+    }
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    if (metrics) {
+      tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
+      if (queue_.size() > peak_queue_depth_) {
+        peak_queue_depth_ = queue_.size();
+      }
+    }
   }
   cv_.notify_one();
 }
@@ -52,7 +70,16 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (metrics_enabled_.load(std::memory_order_relaxed)) {
+      const uint64_t t0 = obs::NowNs();
+      task();
+      const uint64_t dt = obs::NowNs() - t0;
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      busy_ns_.fetch_add(dt, std::memory_order_relaxed);
+      task_hist_.Record(dt);
+    } else {
+      task();
+    }
   }
 }
 
@@ -83,6 +110,14 @@ struct LoopState {
   std::mutex mu;
   std::condition_variable cv;
 
+  // Telemetry hooks, owned by the pool; both null when pool metrics are
+  // disabled (the gate is checked once per ParallelForBlocked call, not per
+  // chunk). Busy time is NOT accrued here — helper drains are timed at the
+  // task level by WorkerLoop and the caller's drain by ParallelForBlocked,
+  // so chunk time is never double-counted.
+  obs::LatencyHistogram* chunk_hist = nullptr;
+  std::atomic<uint64_t>* chunks_executed = nullptr;
+
   // Claims and runs chunks until none are left. Returns the number executed.
   // Never throws: a chunk exception is captured for the caller's rethrow,
   // remaining claims are fast-forwarded (counted done without running fn) so
@@ -97,7 +132,14 @@ struct LoopState {
         const size_t hi = lo + chunk < end ? lo + chunk : end;
         try {
           OSDP_FAULT_POINT("thread_pool/chunk");
-          (*fn)(lo, hi);
+          if (chunk_hist != nullptr) {
+            const uint64_t t0 = obs::NowNs();
+            (*fn)(lo, hi);
+            chunk_hist->Record(obs::NowNs() - t0);
+            chunks_executed->fetch_add(1, std::memory_order_relaxed);
+          } else {
+            (*fn)(lo, hi);
+          }
           ++ran;
         } catch (...) {
           {
@@ -123,6 +165,8 @@ void ThreadPool::ParallelForBlocked(
     const std::function<void(size_t, size_t)>& fn) {
   OSDP_CHECK(chunk > 0);
   if (begin >= end) return;
+  const bool metrics = metrics_enabled_.load(std::memory_order_relaxed);
+  if (metrics) parallel_fors_.fetch_add(1, std::memory_order_relaxed);
   const size_t n = end - begin;
   const size_t num_chunks = (n + chunk - 1) / chunk;
   if (num_chunks == 1 || threads_.empty()) {
@@ -130,9 +174,22 @@ void ThreadPool::ParallelForBlocked(
     // the same contract as the parallel path's capture-and-rethrow. The
     // fault point fires here too, so hit-counted schedules are invariant
     // across thread counts.
+    // Chunk timing chains timestamps — one clock read per chunk, the end of
+    // one chunk doubling as the start of the next (loop bookkeeping is
+    // negligible against any real chunk).
+    uint64_t t_prev = metrics ? obs::NowNs() : 0;
     for (size_t lo = begin; lo < end; lo += chunk) {
       OSDP_FAULT_POINT("thread_pool/chunk");
-      fn(lo, lo + chunk < end ? lo + chunk : end);
+      const size_t hi = lo + chunk < end ? lo + chunk : end;
+      fn(lo, hi);
+      if (metrics) {
+        const uint64_t now = obs::NowNs();
+        const uint64_t dt = now - t_prev;
+        chunk_hist_.Record(dt);
+        chunks_executed_.fetch_add(1, std::memory_order_relaxed);
+        busy_ns_.fetch_add(dt, std::memory_order_relaxed);
+        t_prev = now;
+      }
     }
     return;
   }
@@ -143,6 +200,10 @@ void ThreadPool::ParallelForBlocked(
   state->num_chunks = num_chunks;
   state->fn = &fn;
   state->end = end;
+  if (metrics) {
+    state->chunk_hist = &chunk_hist_;
+    state->chunks_executed = &chunks_executed_;
+  }
 
   // One helper per worker (capped by the chunk count minus the caller's
   // share); a helper that finds the counter exhausted is a cheap no-op.
@@ -152,7 +213,15 @@ void ThreadPool::ParallelForBlocked(
     Submit([state] { state->Drain(); });
   }
 
-  state->Drain();
+  if (metrics) {
+    // The caller's drain is productive chunk time the task-level timing in
+    // WorkerLoop never sees (helpers are timed there); count it here.
+    const uint64_t t0 = obs::NowNs();
+    state->Drain();
+    busy_ns_.fetch_add(obs::NowNs() - t0, std::memory_order_relaxed);
+  } else {
+    state->Drain();
+  }
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&] {
     return state->done.load(std::memory_order_acquire) == state->num_chunks;
@@ -169,6 +238,29 @@ void ThreadPool::ParallelForBlocked(
   std::exception_ptr error = std::move(state->error);
   lock.unlock();
   if (error != nullptr) std::rethrow_exception(error);
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.parallel_fors = parallel_fors_.load(std::memory_order_relaxed);
+  s.chunks_executed = chunks_executed_.load(std::memory_order_relaxed);
+  s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = queue_.size();
+    s.peak_queue_depth = peak_queue_depth_;
+  }
+  if (!threads_.empty()) {
+    const uint64_t lifetime = obs::NowNs() - start_ns_;
+    if (lifetime > 0) {
+      s.utilization = static_cast<double>(s.busy_ns) /
+                      (static_cast<double>(threads_.size()) *
+                       static_cast<double>(lifetime));
+    }
+  }
+  return s;
 }
 
 size_t ParseNumThreads(const char* value, size_t fallback) {

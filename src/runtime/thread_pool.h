@@ -27,13 +27,17 @@
 #ifndef OSDP_RUNTIME_THREAD_POOL_H_
 #define OSDP_RUNTIME_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/obs/metrics.h"
 
 namespace osdp {
 
@@ -88,14 +92,60 @@ class ThreadPool {
   /// hardware_concurrency (see ParseNumThreads).
   static ThreadPool& Default();
 
+  /// Pool telemetry, disabled by default: an unmetered pool pays one relaxed
+  /// load per instrumented site and reads no clocks (the same armed-gate
+  /// discipline as the fault registry). QueryService::Create enables it on
+  /// the pool it is handed when its own metrics are on. Pool telemetry never
+  /// influences scheduling — it is write-only from the dispatch paths.
+  void set_metrics_enabled(bool enabled) {
+    metrics_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool metrics_enabled() const {
+    return metrics_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Accumulated pool telemetry (all zero until set_metrics_enabled(true)).
+  struct Stats {
+    uint64_t tasks_submitted = 0;
+    uint64_t tasks_executed = 0;   // by workers; inline-pool tasks count too
+    uint64_t parallel_fors = 0;    // ParallelForBlocked calls (any path)
+    uint64_t chunks_executed = 0;  // chunks run, by workers and callers
+    uint64_t busy_ns = 0;          // summed wall time inside tasks/chunks
+    size_t queue_depth = 0;        // now (under the queue lock)
+    uint64_t peak_queue_depth = 0;
+    /// busy_ns / (num_threads × pool lifetime): the fraction of worker
+    /// capacity spent executing. 0 for the inline pool (no workers to
+    /// utilize); caller-drained chunk time is included in busy_ns, so values
+    /// slightly above the workers' true share are possible under heavy
+    /// caller participation.
+    double utilization = 0.0;
+  };
+  Stats stats() const;
+
+  /// Latency distribution of individual submitted tasks (worker-side).
+  const obs::LatencyHistogram& task_histogram() const { return task_hist_; }
+  /// Latency distribution of individual ParallelForBlocked chunks.
+  const obs::LatencyHistogram& chunk_histogram() const { return chunk_hist_; }
+
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> threads_;
+
+  std::atomic<bool> metrics_enabled_{false};
+  uint64_t start_ns_ = 0;  // construction time, for utilization
+  std::atomic<uint64_t> tasks_submitted_{0};
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> parallel_fors_{0};
+  std::atomic<uint64_t> chunks_executed_{0};
+  std::atomic<uint64_t> busy_ns_{0};
+  uint64_t peak_queue_depth_ = 0;  // under mu_, alongside the queue it tracks
+  obs::LatencyHistogram task_hist_;
+  obs::LatencyHistogram chunk_hist_;
 };
 
 /// \brief Parses an OSDP_NUM_THREADS-style value: a base-10 integer with

@@ -418,7 +418,13 @@ TEST(QueryServiceStreamingTest, AnswersStayDeterministicAcrossThreadCounts) {
 // generation). With `mask_cache_bytes` non-zero the same replay contract
 // also pins the cache: a hit that served a wrong or stale mask could not
 // match the from-scratch recomputation of its recorded generation.
-void RunConcurrentIngestStressHarness(size_t mask_cache_bytes) {
+//
+// `metrics_enabled` runs the identical workload with the observability layer
+// on or off: the replay contract must hold either way, which is the
+// determinism half of the "observation never influences answers" rule
+// (tests/obs_test.cc pins the twin-equality half).
+void RunConcurrentIngestStressHarness(size_t mask_cache_bytes,
+                                      bool metrics_enabled = true) {
   constexpr size_t kSeedRows = 300;
   constexpr int kBatches = 12;
   constexpr size_t kBatchRows = 41;  // deliberately word-boundary-hostile
@@ -451,6 +457,7 @@ void RunConcurrentIngestStressHarness(size_t mask_cache_bytes) {
   opts.per_session_epsilon = 10.0;
   opts.seed = kRootSeed;
   opts.mask_cache_bytes = mask_cache_bytes;
+  opts.metrics_enabled = metrics_enabled;
   auto service = *QueryService::Create(TestEngine(100.0, kSeedRows), opts);
 
   // Open every session up front, serially, so ids are deterministic no
@@ -607,6 +614,18 @@ TEST(QueryServiceStreamingTest, ConcurrentIngestMatchesSerialReplay) {
 TEST(QueryServiceStreamingTest,
      ConcurrentIngestMatchesSerialReplayWithMaskCache) {
   RunConcurrentIngestStressHarness(/*mask_cache_bytes=*/64ull << 20);
+}
+
+TEST(QueryServiceStreamingTest,
+     ConcurrentIngestMatchesSerialReplayWithMetricsDisabled) {
+  RunConcurrentIngestStressHarness(/*mask_cache_bytes=*/0,
+                                   /*metrics_enabled=*/false);
+}
+
+TEST(QueryServiceStreamingTest,
+     ConcurrentIngestMatchesSerialReplayWithMaskCacheAndMetricsDisabled) {
+  RunConcurrentIngestStressHarness(/*mask_cache_bytes=*/64ull << 20,
+                                   /*metrics_enabled=*/false);
 }
 
 TEST(QueryServiceStreamingTest, EmptyIngestIsANoOpThatPreservesCachedMasks) {
