@@ -6,23 +6,35 @@
 #define OSDP_BENCH_BENCH_COMMON_H_
 
 #include <algorithm>
+#include <climits>
 #include <cmath>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "src/common/env.h"
 #include "src/traj/ap_policy.h"
 #include "src/traj/building_sim.h"
 
 namespace osdp {
 namespace bench {
 
-/// Repetition count, overridable via OSDP_BENCH_REPS.
+/// \brief Repetition count, overridable via OSDP_BENCH_REPS. Strict parse
+/// (src/common/env.h): unset, unparsable ("7junk", "garbage"), or
+/// non-positive values all yield `fallback` — a typo must not silently run a
+/// different experiment.
 inline int Reps(int fallback) {
-  const char* env = std::getenv("OSDP_BENCH_REPS");
-  if (env == nullptr) return fallback;
-  const int v = std::atoi(env);
-  return v > 0 ? v : fallback;
+  long long v = 0;
+  if (!ParseInt64Strict(std::getenv("OSDP_BENCH_REPS"), &v)) return fallback;
+  return (v > 0 && v <= INT_MAX) ? static_cast<int>(v) : fallback;
+}
+
+/// \brief A non-negative double knob (overhead gates, ratios) read from env
+/// var `name` with the same strict-or-fallback contract as Reps.
+inline double EnvGate(const char* name, double fallback) {
+  double v = 0.0;
+  if (!ParseDoubleStrict(std::getenv(name), &v)) return fallback;
+  return v >= 0.0 ? v : fallback;
 }
 
 /// \brief Nearest-rank percentile of `vals` (copied and sorted internally):

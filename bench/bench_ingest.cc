@@ -132,9 +132,8 @@ int main() {
   const size_t mixed_threads =
       threads_env ? static_cast<size_t>(std::atoll(threads_env)) : 2;
 
-  const char* overhead_env = std::getenv("OSDP_BENCH_MAX_PUBLISH_OVERHEAD");
   const double max_publish_overhead =
-      overhead_env ? std::atof(overhead_env) : 1.5;
+      bench::EnvGate("OSDP_BENCH_MAX_PUBLISH_OVERHEAD", 1.5);
 
   std::vector<Measurement> results;
   const Policy policy = BenchPolicy();

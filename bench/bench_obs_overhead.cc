@@ -116,8 +116,7 @@ int main() {
   const size_t rows =
       max_rows_env ? static_cast<size_t>(std::atoll(max_rows_env)) : 100000;
   const int reps = bench::Reps(41);
-  const char* gate_env = std::getenv("OSDP_BENCH_MAX_OBS_OVERHEAD");
-  const double max_overhead = gate_env ? std::atof(gate_env) : 0.02;
+  const double max_overhead = bench::EnvGate("OSDP_BENCH_MAX_OBS_OVERHEAD", 0.02);
 
   std::printf("=== observability overhead: metrics on vs off twins ===\n");
   std::printf("(hardware_concurrency=%u; rows=%zu, reps=%d, gate=%.1f%%)\n\n",

@@ -1,0 +1,66 @@
+// Strict parsing for environment-variable knobs.
+//
+// Every tuning knob in the repository (OSDP_NUM_THREADS, OSDP_BENCH_REPS,
+// the bench overhead gates) is read from the environment, where a typo must
+// not silently become a different configuration: atoi("7junk") is 7,
+// atoi("garbage") is 0, and atof inherits both failure modes. These helpers
+// accept exactly one base-10 value with optional surrounding whitespace and
+// report anything else as a parse failure, so callers can fall back to their
+// documented default instead of a value the user never asked for.
+
+#ifndef OSDP_COMMON_ENV_H_
+#define OSDP_COMMON_ENV_H_
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace osdp {
+
+namespace env_internal {
+
+// Advances past trailing whitespace; true iff nothing else follows.
+inline bool OnlyTrailingWhitespace(const char* p) {
+  while (*p != '\0' &&
+         std::isspace(static_cast<unsigned char>(*p)) != 0) {
+    ++p;
+  }
+  return *p == '\0';
+}
+
+}  // namespace env_internal
+
+/// \brief Parses `value` as a base-10 integer with optional surrounding
+/// whitespace. Returns false (leaving *out untouched) on nullptr, empty
+/// input, no digits, trailing garbage ("7junk", "4x", "2.5"), or overflow.
+inline bool ParseInt64Strict(const char* value, long long* out) {
+  if (value == nullptr) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || errno == ERANGE) return false;
+  if (!env_internal::OnlyTrailingWhitespace(end)) return false;
+  *out = parsed;
+  return true;
+}
+
+/// \brief Parses `value` as a finite base-10 double with optional surrounding
+/// whitespace. Returns false (leaving *out untouched) on nullptr, empty
+/// input, no digits, trailing garbage ("0.02x"), overflow, or a non-finite
+/// result ("inf", "nan") — every knob using this is a finite gate or ratio.
+inline bool ParseDoubleStrict(const char* value, double* out) {
+  if (value == nullptr) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || errno == ERANGE) return false;
+  if (!env_internal::OnlyTrailingWhitespace(end)) return false;
+  if (!std::isfinite(parsed)) return false;
+  *out = parsed;
+  return true;
+}
+
+}  // namespace osdp
+
+#endif  // OSDP_COMMON_ENV_H_

@@ -23,6 +23,8 @@ const char* EngineMechanismToString(EngineMechanism m) {
       return "DAWA";
     case EngineMechanism::kDawaz:
       return "DAWAz";
+    case EngineMechanism::kHierarchical:
+      return "Hierarchical";
   }
   return "?";
 }
@@ -77,6 +79,11 @@ Result<Histogram> OsdpEngine::RunMechanism(const Histogram& x,
     }
     case EngineMechanism::kDawaz:
       return Dawaz(x, xns, epsilon, options_.dawaz, rng);
+    case EngineMechanism::kHierarchical: {
+      auto r = HierarchicalRelease(x, epsilon, options_.hierarchical, rng);
+      if (!r.ok()) return r.status();
+      return std::move(r->estimate);
+    }
   }
   return Status::Internal("unreachable");
 }

@@ -21,6 +21,7 @@
 #include "src/hist/histogram_query.h"
 #include "src/mech/dawa.h"
 #include "src/mech/dawaz.h"
+#include "src/mech/hierarchical.h"
 #include "src/policy/policy.h"
 
 namespace osdp {
@@ -32,6 +33,7 @@ enum class EngineMechanism {
   kOsdpLaplaceL1 = 2,  ///< Algorithm 2
   kDawa = 3,           ///< ε-DP DAWA on the full histogram
   kDawaz = 4,          ///< Algorithm 3
+  kHierarchical = 5,   ///< ε-DP hierarchical release (Hay et al.)
 };
 
 /// \brief A policy-guarded dataset with budgeted OSDP query answering.
@@ -48,6 +50,7 @@ class OsdpEngine {
     uint64_t seed = 0x05D9;      ///< randomness seed (reproducible runs)
     DawaOptions dawa;            ///< options for DAWA-based mechanisms
     DawazOptions dawaz;          ///< options for DAWAz
+    HierarchicalOptions hierarchical;  ///< options for kHierarchical
   };
 
   /// Takes ownership of the data; `policy` marks sensitive records.
@@ -106,6 +109,18 @@ class OsdpEngine {
 
   /// The engine configuration.
   const Options& options() const { return options_; }
+
+  /// \brief Routes the deterministic post-processing stages of every
+  /// mechanism — the DAWA interval-cost engine build (also inside DAWAz) and
+  /// the hierarchical consistency passes — onto `pool` (nullptr = serial).
+  /// Answers stay bit-identical at any thread count: noise sampling never
+  /// moves off the caller's Rng, so the QuerySeed replay contract holds and
+  /// a serial replay engine reproduces pooled answers exactly.
+  void set_mech_pool(ThreadPool* pool) {
+    options_.dawa.pool = pool;
+    options_.dawaz.dawa.pool = pool;
+    options_.hierarchical.pool = pool;
+  }
 
   /// Remaining lifetime budget.
   double remaining_budget() const { return budget_.remaining(); }

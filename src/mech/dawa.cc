@@ -101,10 +101,11 @@ L1PartitionSolution PartitionDP(size_t d, DawaPositions positions,
 template <typename DevCostFn>
 L1PartitionSolution SolveWithImpl(const std::vector<double>& x,
                                   DawaPositions pos, DawaCostImpl impl,
+                                  ThreadPool* pool,
                                   const DevCostFn& dev_cost) {
   const size_t d = x.size();
   if (UseCostEngine(impl, pos, d)) {
-    const IntervalCostEngine engine(x);
+    const IntervalCostEngine engine(x, pool);
     return PartitionDP(d, pos, [&](size_t begin, size_t end) {
       return dev_cost(engine.Deviation(begin, end), end - begin);
     });
@@ -122,10 +123,10 @@ L1PartitionSolution SolveWithImpl(const std::vector<double>& x,
 L1PartitionSolution SolveL1Partition(const std::vector<double>& x,
                                      double bucket_charge,
                                      DawaPositions positions,
-                                     DawaCostImpl impl) {
+                                     DawaCostImpl impl, ThreadPool* pool) {
   OSDP_CHECK(!x.empty());
   const DawaPositions pos = ResolvePositions(positions, x.size());
-  return SolveWithImpl(x, pos, impl, [&](double dev, size_t) {
+  return SolveWithImpl(x, pos, impl, pool, [&](double dev, size_t) {
     return dev + bucket_charge;
   });
 }
@@ -133,8 +134,9 @@ L1PartitionSolution SolveL1Partition(const std::vector<double>& x,
 std::vector<DawaBucket> OptimalL1Partition(const std::vector<double>& x,
                                            double bucket_charge,
                                            DawaPositions positions,
-                                           DawaCostImpl impl) {
-  return SolveL1Partition(x, bucket_charge, positions, impl).buckets;
+                                           DawaCostImpl impl,
+                                           ThreadPool* pool) {
+  return SolveL1Partition(x, bucket_charge, positions, impl, pool).buckets;
 }
 
 Result<DawaResult> Dawa(const Histogram& x, double epsilon,
@@ -168,7 +170,8 @@ Result<DawaResult> Dawa(const Histogram& x, double epsilon,
   const double noise_dev_per_bin = stage1_scale;
   const double bucket_charge = 2.0 / eps2;
   std::vector<DawaBucket> buckets =
-      SolveWithImpl(noisy, pos, opts.cost_impl, [&](double dev, size_t len) {
+      SolveWithImpl(noisy, pos, opts.cost_impl, opts.pool,
+                    [&](double dev, size_t len) {
         return std::max(0.0,
                         dev - static_cast<double>(len) * noise_dev_per_bin) +
                bucket_charge;

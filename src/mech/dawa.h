@@ -42,6 +42,8 @@
 
 namespace osdp {
 
+class ThreadPool;
+
 /// How candidate interval start positions are enumerated.
 enum class DawaPositions {
   kAuto = 0,         ///< kEvery for d <= 4096 bins, kHalfOverlap above
@@ -66,6 +68,12 @@ struct DawaOptions {
   DawaCostImpl cost_impl = DawaCostImpl::kAuto;
   /// Clamp negative bin estimates to zero (post-processing).
   bool clamp_non_negative = true;
+  /// Pool for the deterministic parts of the mechanism (currently the
+  /// interval-cost engine build, sharded per level). nullptr = serial.
+  /// Results are bit-identical at any thread count — only noise sampling is
+  /// order-sensitive, and it never runs on the pool (the RNG draw order is
+  /// part of the QuerySeed replay contract).
+  ThreadPool* pool = nullptr;
 };
 
 /// A contiguous bucket [begin, end) of the partition.
@@ -105,15 +113,18 @@ struct L1PartitionSolution {
 /// exposed for tests and the partition bench (bench/bench_dawa_partition.cc).
 /// Minimizes Σ_B [ Σ_{i∈B}|x_i - mean(B)| + bucket_charge ] over partitions
 /// into power-of-two-length intervals with the given position strategy.
+/// `pool` shards the engine build when the engine implementation is in play
+/// (nullptr = serial); the solution is bit-identical either way.
 L1PartitionSolution SolveL1Partition(const std::vector<double>& x,
                                      double bucket_charge,
                                      DawaPositions positions,
-                                     DawaCostImpl impl);
+                                     DawaCostImpl impl,
+                                     ThreadPool* pool = nullptr);
 
 /// \brief The buckets of SolveL1Partition (convenience wrapper).
 std::vector<DawaBucket> OptimalL1Partition(
     const std::vector<double>& x, double bucket_charge, DawaPositions positions,
-    DawaCostImpl impl = DawaCostImpl::kAuto);
+    DawaCostImpl impl = DawaCostImpl::kAuto, ThreadPool* pool = nullptr);
 
 }  // namespace osdp
 

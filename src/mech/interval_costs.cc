@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/runtime/thread_pool.h"
 
 namespace osdp {
 
@@ -46,7 +47,11 @@ class WindowIndex {
 
 }  // namespace
 
-IntervalCostEngine::IntervalCostEngine(const std::vector<double>& x) {
+IntervalCostEngine::IntervalCostEngine(const std::vector<double>& x)
+    : IntervalCostEngine(x, nullptr) {}
+
+IntervalCostEngine::IntervalCostEngine(const std::vector<double>& x,
+                                       ThreadPool* pool) {
   OSDP_CHECK(!x.empty());
   d_ = x.size();
   prefix_.assign(d_ + 1, 0.0);
@@ -65,12 +70,20 @@ IntervalCostEngine::IntervalCostEngine(const std::vector<double>& x) {
   size_t levels = 0;
   while ((size_t{2} << levels) <= d_) ++levels;  // max k with 2^k <= d
   dev_.resize(levels + 1);
+  // The per-level vectors are sized up front so the sharded build below
+  // never reallocates shared state; each level's sweep then writes only its
+  // own dev_[k].
+  for (size_t k = 1; k <= levels; ++k) {
+    dev_[k].resize(d_ - (size_t{1} << k) + 1);
+  }
 
   // Bottom-up per-length sweep: slide the length-2^k window across all
-  // starts, maintaining the window's order statistics incrementally.
-  for (size_t k = 1; k <= levels; ++k) {
+  // starts, maintaining the window's order statistics incrementally. Levels
+  // are independent — each owns its WindowIndex and reads only the shared
+  // immutable prefix/values/rank arrays — which is what makes the sharded
+  // build below bit-identical to this serial reference.
+  const auto build_level = [&](size_t k) {
     const size_t len = size_t{1} << k;
-    dev_[k].resize(d_ - len + 1);
     WindowIndex window(values.size());
     for (size_t i = 0; i < len; ++i) window.Add(rank[i], x[i]);
     for (size_t b = 0;; ++b) {
@@ -93,13 +106,29 @@ IntervalCostEngine::IntervalCostEngine(const std::vector<double>& x) {
       window.Remove(rank[b], x[b]);
       window.Add(rank[b + len], x[b + len]);
     }
+  };
+  if (pool == nullptr) {
+    for (size_t k = 1; k <= levels; ++k) build_level(k);
+  } else {
+    // One chunk per level: level costs are comparable (each sweep is
+    // O((d - 2^k) log u)), and there are only log₂ d of them, so finer
+    // chunking buys nothing.
+    pool->ParallelForBlocked(1, levels + 1, 1, [&](size_t lo, size_t hi) {
+      for (size_t k = lo; k < hi; ++k) build_level(k);
+    });
   }
 }
 
 double IntervalCostEngine::Deviation(size_t begin, size_t end) const {
-  OSDP_DCHECK(begin < end && end <= d_);
+  // Hard checks in every build type: under NDEBUG a DCHECK here would let a
+  // non-power-of-two length silently index the wrong level via the ctz below
+  // and return a wrong (not just noisy) partition cost.
+  OSDP_CHECK_MSG(begin < end && end <= d_,
+                 "interval [" << begin << ", " << end << ") out of range for d="
+                              << d_);
   const size_t len = end - begin;
-  OSDP_DCHECK((len & (len - 1)) == 0);
+  OSDP_CHECK_MSG((len & (len - 1)) == 0,
+                 "interval length " << len << " is not a power of two");
   if (len == 1) return 0.0;
   // len is a power of two, so its level is its bit index — keeps the hot DP
   // query a genuine O(1) lookup.

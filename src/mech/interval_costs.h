@@ -40,6 +40,8 @@
 
 namespace osdp {
 
+class ThreadPool;
+
 /// \brief Precomputed L1-deviation-from-mean costs for every power-of-two-
 /// length interval of a data vector. Build is O(d log² d) time, O(d log d)
 /// memory; Deviation() is O(1).
@@ -47,6 +49,14 @@ class IntervalCostEngine {
  public:
   /// Builds the engine over `x`. x must be non-empty.
   explicit IntervalCostEngine(const std::vector<double>& x);
+
+  /// \brief Builds the engine with the per-level sweeps sharded on `pool`
+  /// (nullptr = the serial reference build). Each level k owns its own
+  /// Fenwick window and writes only dev_[k], and the per-level arithmetic is
+  /// the serial build's, so the parallel build is bit-identical to serial at
+  /// any thread count (pinned by tests/mech_parallel_test.cc and
+  /// bench/bench_mech_parallel.cc).
+  IntervalCostEngine(const std::vector<double>& x, ThreadPool* pool);
 
   /// Domain size d.
   size_t size() const { return d_; }

@@ -1,6 +1,7 @@
 #include "src/obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -47,6 +48,15 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+// JSON has no literal for non-finite doubles: %.17g's bare `inf`/`nan`
+// would make the whole scrape unparsable (budget ε gauges can legitimately
+// be ±inf), so they serialize as null. ToText keeps the raw spelling — the
+// text surface has no grammar to break.
+std::string FormatDoubleJson(double v) {
+  if (!std::isfinite(v)) return "null";
+  return FormatDouble(v);
+}
+
 }  // namespace
 
 const MetricsSnapshot::CounterValue* MetricsSnapshot::FindCounter(
@@ -84,14 +94,14 @@ std::string MetricsSnapshot::ToJson() const {
   for (size_t i = 0; i < gauges.size(); ++i) {
     if (i) out << ", ";
     out << '"' << JsonEscape(gauges[i].name)
-        << "\": " << FormatDouble(gauges[i].value);
+        << "\": " << FormatDoubleJson(gauges[i].value);
   }
   out << "}, \"histograms\": {";
   for (size_t i = 0; i < histograms.size(); ++i) {
     const HistogramValue& h = histograms[i];
     if (i) out << ", ";
     out << '"' << JsonEscape(h.name) << "\": {\"count\": " << h.count
-        << ", \"mean_ns\": " << FormatDouble(h.mean_ns)
+        << ", \"mean_ns\": " << FormatDoubleJson(h.mean_ns)
         << ", \"max_ns\": " << h.max_ns << ", \"p50_ns\": " << h.p50_ns
         << ", \"p95_ns\": " << h.p95_ns << ", \"p99_ns\": " << h.p99_ns
         << "}";

@@ -119,6 +119,12 @@ QueryService::QueryService(OsdpEngine engine, TableBuilder builder,
                                      m_.cache_misses, m_.cache_evictions}),
       store_(engine_.snapshot()),
       builder_(std::move(builder)) {
+  // Route the mechanisms' deterministic stages (interval-cost engine build,
+  // hierarchical consistency passes) onto the service pool. Noise stays on
+  // each query's own Rng, so serial replay engines — which keep the default
+  // null pool — still reproduce every answer bit-for-bit.
+  engine_.set_mech_pool(options_.pool != nullptr ? options_.pool
+                                                 : &ThreadPool::Default());
   if (metrics_.enabled()) {
     // Light up the pool's own telemetry alongside ours. Enabling is one-way
     // here on purpose: a metrics-off service sharing a pool with a
@@ -445,9 +451,11 @@ Result<ServiceAnswer> QueryService::ExecuteImpl(PreparedRequest* prepared,
     // Compute only the histogram(s) the mechanism reads: x (all rows) for
     // the DP mechanisms, x_ns for the one-sided ones, both for DAWAz. The
     // WHERE mask, when present, is evaluated once and shared.
-    const bool need_x = prepared->mechanism == EngineMechanism::kLaplace ||
-                        prepared->mechanism == EngineMechanism::kDawa ||
-                        prepared->mechanism == EngineMechanism::kDawaz;
+    const bool need_x =
+        prepared->mechanism == EngineMechanism::kLaplace ||
+        prepared->mechanism == EngineMechanism::kDawa ||
+        prepared->mechanism == EngineMechanism::kDawaz ||
+        prepared->mechanism == EngineMechanism::kHierarchical;
     const bool need_xns =
         prepared->mechanism == EngineMechanism::kOsdpLaplace ||
         prepared->mechanism == EngineMechanism::kOsdpLaplaceL1 ||

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/env.h"
 #include "src/common/fault.h"
 
 namespace osdp {
@@ -264,15 +265,10 @@ ThreadPool::Stats ThreadPool::stats() const {
 }
 
 size_t ParseNumThreads(const char* value, size_t fallback) {
-  if (value == nullptr) return fallback;
-  errno = 0;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(value, &end, 10);
-  if (end == value || errno == ERANGE) return fallback;  // no digits/overflow
-  while (*end != '\0' && std::isspace(static_cast<unsigned char>(*end))) {
-    ++end;
-  }
-  if (*end != '\0') return fallback;  // trailing garbage ("4x", "2.5")
+  long long parsed = 0;
+  // Strict base-10 parse (src/common/env.h): no digits, trailing garbage
+  // ("4x", "2.5"), or overflow all fall back rather than silently becoming 0.
+  if (!ParseInt64Strict(value, &parsed)) return fallback;
   // Negative values mean "no workers" (the inline pool), not a size_t
   // wraparound's worth of threads.
   return parsed > 0 ? static_cast<size_t>(parsed) : 0;

@@ -1,11 +1,15 @@
-// Tests for src/common: Status/Result, Rng, distributions, stats.
+// Tests for src/common: Status/Result, Rng, distributions, stats, strict
+// env parsing.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
+#include "bench/bench_common.h"
 #include "src/common/distributions.h"
+#include "src/common/env.h"
 #include "src/common/random.h"
 #include "src/common/result.h"
 #include "src/common/stats.h"
@@ -426,6 +430,79 @@ TEST(StatsTest, RunningStatsMatchesBatch) {
   EXPECT_EQ(rs.count(), xs.size());
   EXPECT_NEAR(rs.mean(), Mean(xs), 1e-12);
   EXPECT_NEAR(rs.population_variance(), Variance(xs), 1e-12);
+}
+
+// ------------------------------------------------------ strict env parse ---
+
+TEST(ParseEnvTest, Int64AcceptsExactlyOneIntegerWithSurroundingWhitespace) {
+  long long v = -1;
+  EXPECT_TRUE(ParseInt64Strict("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64Strict("  -7  ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(ParseInt64Strict("0", &v));
+  EXPECT_EQ(v, 0);
+}
+
+TEST(ParseEnvTest, Int64RejectsGarbageWithoutTouchingOutput) {
+  long long v = 1234;
+  EXPECT_FALSE(ParseInt64Strict(nullptr, &v));
+  EXPECT_FALSE(ParseInt64Strict("", &v));
+  EXPECT_FALSE(ParseInt64Strict("  ", &v));
+  EXPECT_FALSE(ParseInt64Strict("garbage", &v));
+  EXPECT_FALSE(ParseInt64Strict("7junk", &v));  // atoi would say 7
+  EXPECT_FALSE(ParseInt64Strict("2.5", &v));
+  EXPECT_FALSE(ParseInt64Strict("0x10", &v));
+  EXPECT_FALSE(ParseInt64Strict("99999999999999999999999", &v));
+  EXPECT_EQ(v, 1234);  // untouched on every failure
+}
+
+TEST(ParseEnvTest, DoubleAcceptsFiniteValuesOnly) {
+  double v = -1.0;
+  EXPECT_TRUE(ParseDoubleStrict("0.02", &v));
+  EXPECT_DOUBLE_EQ(v, 0.02);
+  EXPECT_TRUE(ParseDoubleStrict(" 1.5e0 ", &v));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_TRUE(ParseDoubleStrict("0", &v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_FALSE(ParseDoubleStrict("0.02x", &v));  // atof would say 0.02
+  EXPECT_FALSE(ParseDoubleStrict("garbage", &v));
+  EXPECT_FALSE(ParseDoubleStrict("inf", &v));
+  EXPECT_FALSE(ParseDoubleStrict("nan", &v));
+  EXPECT_FALSE(ParseDoubleStrict("1e999", &v));
+  EXPECT_FALSE(ParseDoubleStrict(nullptr, &v));
+  EXPECT_DOUBLE_EQ(v, 0.0);  // untouched since the last success
+}
+
+TEST(ParseEnvTest, BenchRepsFallsBackOnGarbage) {
+  // bench::Reps parsed OSDP_BENCH_REPS with raw atoi pre-fix: "7junk" ran 7
+  // reps instead of the bench's documented default. This test fails at the
+  // pre-fix commit.
+  ASSERT_EQ(::setenv("OSDP_BENCH_REPS", "7junk", 1), 0);
+  EXPECT_EQ(bench::Reps(5), 5);
+  ASSERT_EQ(::setenv("OSDP_BENCH_REPS", "garbage", 1), 0);
+  EXPECT_EQ(bench::Reps(5), 5);
+  ASSERT_EQ(::setenv("OSDP_BENCH_REPS", "-3", 1), 0);
+  EXPECT_EQ(bench::Reps(5), 5);  // non-positive → fallback, as documented
+  ASSERT_EQ(::setenv("OSDP_BENCH_REPS", "12", 1), 0);
+  EXPECT_EQ(bench::Reps(5), 12);
+  ASSERT_EQ(::unsetenv("OSDP_BENCH_REPS"), 0);
+  EXPECT_EQ(bench::Reps(5), 5);
+}
+
+TEST(ParseEnvTest, BenchGateFallsBackOnGarbageAndNegatives) {
+  // The bench_ingest / bench_obs_overhead regression gates read their
+  // thresholds through the same strict path: a typo must tighten to the
+  // documented default, never to atof's silent 0.0 (which would gate
+  // *everything* out).
+  ASSERT_EQ(::setenv("OSDP_TEST_GATE", "0.02x", 1), 0);
+  EXPECT_DOUBLE_EQ(bench::EnvGate("OSDP_TEST_GATE", 1.5), 1.5);
+  ASSERT_EQ(::setenv("OSDP_TEST_GATE", "-0.5", 1), 0);
+  EXPECT_DOUBLE_EQ(bench::EnvGate("OSDP_TEST_GATE", 1.5), 1.5);
+  ASSERT_EQ(::setenv("OSDP_TEST_GATE", "0.25", 1), 0);
+  EXPECT_DOUBLE_EQ(bench::EnvGate("OSDP_TEST_GATE", 1.5), 0.25);
+  ASSERT_EQ(::unsetenv("OSDP_TEST_GATE"), 0);
+  EXPECT_DOUBLE_EQ(bench::EnvGate("OSDP_TEST_GATE", 1.5), 1.5);
 }
 
 }  // namespace

@@ -149,6 +149,20 @@ TEST(IntervalCostEngineTest, HandlesNonIntegerDataFinitely) {
   }
 }
 
+TEST(IntervalCostEngineDeathTest, RejectsNonPowerOfTwoLengthInRelease) {
+  // These preconditions used to be DCHECKs — compiled out under NDEBUG, so a
+  // Release-build caller passing a non-power-of-two length silently indexed
+  // the wrong level via ctz (len=6 reads the len=2 table; len=3 reads the
+  // unstored level 0) and got a wrong partition cost back. They are hard
+  // OSDP_CHECKs now; this test fails at the pre-fix commit in Release.
+  const std::vector<double> x(16, 1.0);
+  const IntervalCostEngine engine(x);
+  EXPECT_DEATH(engine.Deviation(0, 3), "power of two");
+  EXPECT_DEATH(engine.Deviation(0, 6), "power of two");
+  EXPECT_DEATH(engine.Deviation(4, 4), "out of range");
+  EXPECT_DEATH(engine.Deviation(0, 32), "out of range");
+}
+
 // The tentpole property test: the engine-backed DP must be *bit-identical*
 // to the naive reference DP — same optimal cost, same buckets — across
 // domain sizes up to 4096, both position modes, all three data shapes.

@@ -20,8 +20,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <string>
 #include <thread>
@@ -468,6 +470,179 @@ TEST(MetricsServiceTest, DumpCoversEverySubsystem) {
   ASSERT_NE(spent, nullptr);
   EXPECT_NEAR(spent->value, 0.05 * static_cast<double>(TwinBatch().size()),
               1e-12);
+}
+
+// ------------------------------------------------ scrape JSON validity ---
+
+// Minimal recursive-descent JSON validator (objects, arrays, strings with
+// escapes, numbers, true/false/null) — enough grammar to reject the bare
+// `inf`/`nan` tokens %.17g produces for non-finite doubles, which no JSON
+// parser accepts.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+  bool Valid() {
+    pos_ = 0;
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') return ++pos_, true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') return ++pos_, true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || std::isxdigit(s_[pos_]) == 0) return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (std::isdigit(Peek()) == 0) return false;
+    while (std::isdigit(Peek()) != 0) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      if (std::isdigit(Peek()) == 0) return false;
+      while (std::isdigit(Peek()) != 0) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (std::isdigit(Peek()) == 0) return false;
+      while (std::isdigit(Peek()) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(const char* lit) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST(MetricsSnapshotTest, ToJsonStaysParsableWithNonFiniteGauges) {
+  // Budget ε gauges can legitimately be ±inf (and a 0/0 ratio NaN); the
+  // scrape must stay machine-readable regardless. Pre-fix, FormatDouble
+  // printed bare `inf`/`nan` into the gauge map and this test fails.
+  obs::MetricsRegistry registry;
+  registry.GetGauge("budget.remaining_eps")
+      ->Set(std::numeric_limits<double>::infinity());
+  registry.GetGauge("budget.debt_eps")
+      ->Set(-std::numeric_limits<double>::infinity());
+  registry.GetGauge("cache.hit_ratio")
+      ->Set(std::numeric_limits<double>::quiet_NaN());
+  registry.GetGauge("ingest.generation")->Set(3.0);
+  registry.GetCounter("service.queries")->Increment(7);
+  registry.GetHistogram("service.query_ns")->Record(1234);
+
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"budget.remaining_eps\": null"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"budget.debt_eps\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"cache.hit_ratio\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"ingest.generation\": 3"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  // The finite-path spelling is untouched, and ToText (no grammar to break)
+  // keeps the raw non-finite spellings for human eyes.
+  EXPECT_NE(registry.Snapshot().ToText().find("inf"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, ServiceDumpRoundTripsThroughTheValidator) {
+  // The full service scrape — every subsystem's counters, gauges, and
+  // histogram summaries — must parse end to end, not just the toy registry.
+  ThreadPool pool(2);
+  auto service = TwinService(&pool, true);
+  const auto session = service->OpenSession("a");
+  service->AnswerBatch(session, TwinBatch());
+  const std::string json = service->DumpMetricsJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
 }
 
 TEST(MetricsServiceTest, EnvKillSwitchDisablesTelemetry) {

@@ -440,8 +440,27 @@ void RunConcurrentIngestStressHarness(size_t mask_cache_bytes,
     return MakeCensusTable(opts);
   };
   const Domain1D age_domain = *Domain1D::Numeric(0, 100, 16);
+  // Wide enough that DAWA's kAuto picks the interval-cost engine, whose
+  // build runs sharded on the service pool — so the concurrent batches below
+  // exercise the parallel mechanism stage, and the serial replay (null pool)
+  // cross-checks it bit-for-bit.
+  const Domain1D fine_domain = *Domain1D::Numeric(0, 100, 1024);
   const auto make_query = [&](int s, int q) -> ServiceRequest {
     if (q % 4 == 3) {
+      // Histogram releases rotate through the mechanism stage's three
+      // concurrency-bearing paths: masked one-sided Laplace (scan-side
+      // sharding), DAWA (sharded engine build), and the hierarchical
+      // release (level-synchronous consistency passes).
+      if (q == 7) {
+        return HistogramRequest{
+            HistogramQuery{"age", fine_domain, std::nullopt}, kEps,
+            EngineMechanism::kDawa};
+      }
+      if (q == 11) {
+        return HistogramRequest{
+            HistogramQuery{"age", age_domain, std::nullopt}, kEps,
+            EngineMechanism::kHierarchical};
+      }
       std::optional<Predicate> where;
       if (q % 8 == 7) where = Predicate::Eq("opt_in", Value(1));
       return HistogramRequest{HistogramQuery{"age", age_domain, where}, kEps,
@@ -547,7 +566,12 @@ void RunConcurrentIngestStressHarness(size_t mask_cache_bytes,
         const auto& hist = std::get<HistogramRequest>(request);
         const Histogram xns =
             *ComputeHistogramMasked(table, hist.query, ns);
-        const Histogram x(hist.query.domain.size());  // unused by OsdpLaplaceL1
+        // The full histogram feeds the DP mechanisms (kDawa, kHierarchical);
+        // serial recomputation matches the service's sharded accumulation
+        // exactly because bin counts are integers. The replay engine has no
+        // pool, so this also pins pooled mechanism runs to their serial
+        // references end to end.
+        const Histogram x = *ComputeHistogram(table, hist.query);
         const Histogram expected = *replay_engine.RunMechanism(
             x, xns, kEps, hist.mechanism, rng);
         EXPECT_EQ(rec.bins, expected.counts())
